@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per experiment in DESIGN.md (E1-E8)."""

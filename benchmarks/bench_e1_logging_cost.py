@@ -1,0 +1,104 @@
+"""E1 — Figure 1: logging cost of logical vs physiological vs physical
+operations.
+
+The paper's Figure 1 contrasts logging the A/B operation pair
+(A: Y <- f(X,Y); B: X <- g(Y)) logically — identifiers only — against
+physiologically, where each record must carry a data value (``log(X)``
+for A, ``log(Y)`` for B, or equivalently the results).  We sweep the
+object size from 64 B to 1 MiB and report the log bytes per scheme.
+
+Expected shape: logical cost is flat (identifier-sized) while the
+value-carrying schemes grow linearly with object size; at 1 MiB the
+ratio is four to five orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.analysis import Table, format_bytes, ratio
+from repro.core.operation import Operation, OpKind
+from benchmarks.conftest import once, payload
+
+SIZES = [64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024]
+
+
+def _pair_records(size: int) -> Dict[str, int]:
+    """Log bytes for the A/B pair under each logging scheme."""
+    value_x = payload("X", size)
+    value_y = payload("Y", size)
+
+    # Logical (Figure 1a): identifiers only.
+    logical_a = Operation(
+        "A", OpKind.LOGICAL, reads={"X", "Y"}, writes={"Y"}, fn="f",
+        params=("X", "Y"),
+    )
+    logical_b = Operation(
+        "B", OpKind.LOGICAL, reads={"Y"}, writes={"X"}, fn="g",
+        params=("Y", "X"),
+    )
+
+    # Physiological (Figure 1b): single-object transforms whose foreign
+    # input is logged as a value parameter (log(X), log(Y)).
+    physio_a = Operation(
+        "A_p", OpKind.PHYSIOLOGICAL, reads={"Y"}, writes={"Y"}, fn="f",
+        params=("Y", value_x),
+    )
+    physio_b = Operation(
+        "B_p", OpKind.PHYSIOLOGICAL, reads={"X"}, writes={"X"}, fn="g",
+        params=("X", value_y),
+    )
+
+    # Physical: the written values themselves are logged.
+    result_y = payload("fXY", size)
+    result_x = payload("gY", size)
+    physical_a = Operation(
+        "A_P", OpKind.PHYSICAL, reads=set(), writes={"Y"},
+        payload={"Y": result_y},
+    )
+    physical_b = Operation(
+        "B_P", OpKind.PHYSICAL, reads=set(), writes={"X"},
+        payload={"X": result_x},
+    )
+
+    return {
+        "logical": logical_a.record_size() + logical_b.record_size(),
+        "physiological": physio_a.record_size() + physio_b.record_size(),
+        "physical": physical_a.record_size() + physical_b.record_size(),
+    }
+
+
+def _run_sweep() -> Dict[int, Dict[str, int]]:
+    return {size: _pair_records(size) for size in SIZES}
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_figure1_logging_cost(benchmark):
+    results = once(benchmark, _run_sweep)
+
+    table = Table(
+        "E1 (Figure 1): log bytes for the A/B operation pair",
+        ["object size", "logical", "physiological", "physical",
+         "physio/logical", "physical/logical"],
+    )
+    for size, row in results.items():
+        table.add_row(
+            format_bytes(size),
+            format_bytes(row["logical"]),
+            format_bytes(row["physiological"]),
+            format_bytes(row["physical"]),
+            ratio(row["physiological"], row["logical"]),
+            ratio(row["physical"], row["logical"]),
+        )
+    table.print()
+
+    # Qualitative claims: logical is flat; the others grow linearly.
+    logical_costs = [results[s]["logical"] for s in SIZES]
+    assert len(set(logical_costs)) == 1, "logical cost must not grow"
+    for size in SIZES:
+        assert results[size]["physiological"] >= size
+        assert results[size]["physical"] >= size
+    big = SIZES[-1]
+    assert results[big]["physiological"] / results[big]["logical"] > 1000

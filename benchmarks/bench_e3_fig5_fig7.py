@@ -1,0 +1,111 @@
+"""E3 — Figures 5 and 7: flush-set evolution, W versus rW.
+
+Reconstructs the paper's two worked write-graph examples and reports,
+step by step, the atomic flush sets each graph prescribes.  The claims:
+
+* Figure 5: after operation B, rW flushes Y alone (X became
+  unexposed), while W still requires the atomic pair {X, Y}.
+* Figure 7: the multi-object set {X, Y} created by one operation
+  shrinks to {Y} in rW once C blind-writes X; W's node only ever grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.history import History
+from repro.core.installation_graph import InstallationGraph
+from repro.core.operation import Operation, OpKind
+from repro.core.refined_write_graph import RefinedWriteGraph
+from repro.core.write_graph import WriteGraph
+from benchmarks.conftest import once
+
+
+def _op(name, reads, writes):
+    return Operation(
+        name, OpKind.LOGICAL, reads=set(reads), writes=set(writes), fn="f"
+    )
+
+
+def _trace(ops) -> List[Tuple[str, List[tuple], List[tuple]]]:
+    """After each operation, the (vars, notx) sets of every node in rW
+    and the vars sets of every node in W."""
+    steps = []
+    rw = RefinedWriteGraph()
+    seen = []
+    for index, op in enumerate(ops):
+        op.lsi = index + 1
+        seen.append(op)
+        rw.add_operation(op)
+        history = History()
+        for item in seen:
+            history.append(item)
+        w = WriteGraph(InstallationGraph(list(history)))
+        rw_nodes = sorted(
+            (tuple(sorted(n.vars)), tuple(sorted(n.notx))) for n in rw.nodes
+        )
+        w_nodes = sorted(tuple(sorted(n.vars)) for n in w.nodes)
+        steps.append((op.name, rw_nodes, w_nodes))
+    return steps
+
+
+def _figure5_ops():
+    return [
+        _op("A: write {X,Y}", ["X", "Y"], ["X", "Y"]),
+        _op("B: X <- g(Y)", ["Y"], ["X"]),
+    ]
+
+
+def _figure7_ops():
+    return [
+        _op("A: write {X,Y}", [], ["X", "Y"]),
+        _op("B: read X, write Z", ["X"], ["Z"]),
+        _op("C: blind-write X", [], ["X"]),
+    ]
+
+
+def _report(title: str, steps) -> Table:
+    table = Table(title, ["after op", "rW nodes (vars|notx)", "W nodes (vars)"])
+    for name, rw_nodes, w_nodes in steps:
+        rw_text = "  ".join(
+            "{" + ",".join(vars_) + ("|" + ",".join(notx) if notx else "") + "}"
+            for vars_, notx in rw_nodes
+        )
+        w_text = "  ".join("{" + ",".join(vars_) + "}" for vars_ in w_nodes)
+        table.add_row(name, rw_text, w_text)
+    return table
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_figure5(benchmark):
+    steps = once(benchmark, _trace, _figure5_ops())
+    _report("E3 (Figure 5): X,Y example", steps).print()
+
+    # After B: rW has a node flushing only Y (X unexposed) and a node
+    # flushing X; W still demands the atomic pair.
+    _name, rw_nodes, w_nodes = steps[-1]
+    assert (("Y",), ("X",)) in rw_nodes  # vars={Y}, notx={X}
+    assert (("X",), ()) in rw_nodes
+    assert ("X", "Y") in w_nodes  # W: atomic {X, Y}
+
+    max_rw = max(len(vars_) for vars_, _notx in rw_nodes)
+    max_w = max(len(vars_) for vars_ in w_nodes)
+    assert max_rw == 1 and max_w == 2
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_figure7(benchmark):
+    steps = once(benchmark, _trace, _figure7_ops())
+    _report("E3 (Figure 7): flush set shrinks after blind write", steps).print()
+
+    # After A: both graphs hold {X, Y} atomically.
+    _a, rw_after_a, w_after_a = steps[0]
+    assert (("X", "Y"), ()) in rw_after_a
+    assert ("X", "Y") in w_after_a
+    # After C: rW's A-node flushes only Y; W's node is still {X, Y}.
+    _c, rw_after_c, w_after_c = steps[-1]
+    assert (("Y",), ("X",)) in rw_after_c
+    assert ("X", "Y") in w_after_c

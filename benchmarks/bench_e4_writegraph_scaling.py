@@ -1,0 +1,149 @@
+"""E4 — write-graph structure at scale: W versus rW over random logical
+workloads.
+
+Sweeps the share of logical (multi-object-dependency) operations in a
+random workload and reports, for each graph: node count, mean/max
+atomic-flush-set size, the fraction of nodes flushable one object at a
+time (singletons or smaller), and rW's cycle-collapse count.
+
+Expected shape: as the logical share grows, W's atomic flush sets
+coalesce and grow without bound, while rW keeps most nodes at singleton
+flush sets because later blind writes keep un-exposing objects.  This
+is Section 3's quantitative story.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.history import History
+from repro.core.installation_graph import InstallationGraph
+from repro.core.refined_write_graph import RefinedWriteGraph
+from repro.core.write_graph import WriteGraph
+from repro.workloads import LogicalWorkload, LogicalWorkloadConfig
+from benchmarks.conftest import once
+
+MIXES = [
+    ("physiological-only", dict(w_physical=0.2, w_touch=0.8, w_combine=0.0, w_derive=0.0)),
+    ("25% logical", dict(w_physical=0.2, w_touch=0.55, w_combine=0.15, w_derive=0.1)),
+    ("50% logical", dict(w_physical=0.15, w_touch=0.35, w_combine=0.3, w_derive=0.2)),
+    ("75% logical", dict(w_physical=0.1, w_touch=0.15, w_combine=0.45, w_derive=0.3)),
+]
+OPERATIONS = 120
+OBJECTS = 10
+SEEDS = range(5)
+
+
+def _ops_for(mix: dict, seed: int) -> List:
+    config = LogicalWorkloadConfig(
+        objects=OBJECTS, operations=OPERATIONS, object_size=32, **mix
+    )
+    workload = LogicalWorkload(config, seed=seed)
+    history = History()
+    ops = []
+    for op in workload.operations():
+        history.append(op)
+        op.lsi = op.op_id + 1
+        ops.append(op)
+    return ops
+
+
+def _measure(mix: dict) -> Dict[str, float]:
+    rw_sizes: List[int] = []
+    w_sizes: List[int] = []
+    collapses = 0
+    for seed in SEEDS:
+        ops = _ops_for(mix, seed)
+        rw = RefinedWriteGraph()
+        for op in ops:
+            rw.add_operation(op)
+        collapses += rw.cycle_collapses
+        rw_sizes.extend(len(n.vars) for n in rw.nodes)
+        w = WriteGraph(InstallationGraph(ops))
+        w_sizes.extend(len(n.vars) for n in w.nodes)
+    return {
+        "rw_mean": mean(rw_sizes),
+        "rw_max": max(rw_sizes),
+        "rw_single": sum(1 for s in rw_sizes if s <= 1) / len(rw_sizes),
+        "w_mean": mean(w_sizes),
+        "w_max": max(w_sizes),
+        "w_single": sum(1 for s in w_sizes if s <= 1) / len(w_sizes),
+        "rw_collapses": collapses,
+    }
+
+
+def _sweep() -> Dict[str, Dict[str, float]]:
+    return {name: _measure(mix) for name, mix in MIXES}
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_flush_set_sizes(benchmark):
+    results = once(benchmark, _sweep)
+
+    table = Table(
+        f"E4: atomic flush-set sizes, {OPERATIONS} ops x {len(SEEDS)} seeds, "
+        f"{OBJECTS} objects",
+        ["workload mix", "W mean", "W max", "W <=1", "rW mean", "rW max",
+         "rW <=1", "rW cycle collapses"],
+    )
+    for name, row in results.items():
+        table.add_row(
+            name,
+            f"{row['w_mean']:.2f}",
+            row["w_max"],
+            f"{row['w_single']:.0%}",
+            f"{row['rw_mean']:.2f}",
+            row["rw_max"],
+            f"{row['rw_single']:.0%}",
+            row["rw_collapses"],
+        )
+    table.print()
+
+    # Physiological-only: the degenerate case, both graphs identical.
+    degenerate = results["physiological-only"]
+    assert degenerate["w_max"] == 1
+    assert degenerate["rw_max"] == 1
+
+    # Under heavy logical mixes, rW's flush sets stay far smaller.
+    heavy = results["75% logical"]
+    assert heavy["rw_mean"] < heavy["w_mean"]
+    assert heavy["rw_max"] <= heavy["w_max"]
+    assert heavy["rw_single"] > heavy["w_single"]
+
+
+def _incremental_maintenance(ops) -> RefinedWriteGraph:
+    graph = RefinedWriteGraph()
+    for op in ops:
+        graph.add_operation(op)
+    return graph
+
+
+@pytest.mark.benchmark(group="e4-timing")
+def test_e4_addop_rw_throughput(benchmark):
+    """Wall-clock cost of incremental rW maintenance (addop_rW)."""
+    ops = _ops_for(dict(MIXES[2][1]), seed=0)
+    graph = benchmark(_incremental_maintenance, ops)
+    assert graph.is_acyclic()
+
+
+def _batch_w_per_op(ops) -> int:
+    """The naive alternative to incremental maintenance: recompute the
+    batch W graph after every arriving operation (what a cache manager
+    without addop_rW would do)."""
+    count = 0
+    for prefix_length in range(1, len(ops) + 1):
+        graph = WriteGraph(InstallationGraph(ops[:prefix_length]))
+        count += len(graph.nodes)
+    return count
+
+
+@pytest.mark.benchmark(group="e4-timing")
+def test_e4_batch_w_recompute_throughput(benchmark):
+    """Recomputing W per operation, for contrast with addop_rW — the
+    reason Figure 6 gives an *incremental* construction."""
+    ops = _ops_for(dict(MIXES[2][1]), seed=0)
+    benchmark(_batch_w_per_op, ops)

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its experiment table (visible with ``-s``) and
+asserts the paper's *qualitative* claim (who wins, roughly by how much)
+so that regressions in the reproduction are caught even when nobody
+reads the tables.  pytest-benchmark provides wall-clock timing on the
+code paths that matter; the headline numbers are the counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+
+def payload(tag: str, size: int) -> bytes:
+    """Deterministic pseudo-random bytes of the given size."""
+    seed = hashlib.sha256(tag.encode()).digest()
+    return (seed * (size // len(seed) + 1))[:size]
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Counter-based experiments are deterministic; a single round gives
+    the timing signal without re-running side-effectful workloads.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

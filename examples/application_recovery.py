@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Application recovery: an ETL pipeline that survives crashes.
+
+The scenario from Section 1 of the paper and from [7]: an application
+(a deterministic state machine) reads input files, transforms them, and
+writes output files.  All three interactions are logged *logically* —
+R(A, X) and W_L(A, X) records carry identifiers only — so crash
+recovery re-executes the application instead of reading gigantic log
+records.
+
+The demo compares the log traffic of the three schemes the paper
+discusses, then crashes mid-pipeline and recovers, showing that the
+application resumes exactly where the durable log says it was.
+
+Run:  python examples/application_recovery.py
+"""
+
+from repro import RecoverableSystem, verify_recovered
+from repro.analysis import Table, format_bytes
+from repro.domains import (
+    AppLoggingMode,
+    ApplicationRuntime,
+    RecoverableFileSystem,
+)
+
+DOCUMENTS = [
+    b"the quick brown fox jumps over the lazy dog " * 200,
+    b"sphinx of black quartz, judge my vow " * 250,
+    b"pack my box with five dozen liquor jugs " * 220,
+]
+
+
+def compare_logging_schemes() -> None:
+    table = Table(
+        "Log traffic for the same 3-document pipeline",
+        ["scheme", "log bytes", "data-value bytes"],
+    )
+    for mode in AppLoggingMode:
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system)
+        app = ApplicationRuntime(system, "app:etl", "upper", mode)
+        for index, document in enumerate(DOCUMENTS):
+            fs.write_file(f"doc{index}", document)
+            app.run_pipeline(
+                fs.object_id(f"doc{index}"), fs.object_id(f"out{index}")
+            )
+        table.add_row(
+            mode.value,
+            format_bytes(system.stats.log_bytes),
+            format_bytes(system.stats.log_value_bytes),
+        )
+    table.print()
+
+
+def crash_mid_pipeline() -> None:
+    system = RecoverableSystem()
+    fs = RecoverableFileSystem(system)
+    app = ApplicationRuntime(system, "app:etl", "upper")
+
+    # Two pipelines complete and are made durable.
+    for index in range(2):
+        fs.write_file(f"doc{index}", DOCUMENTS[index])
+        app.run_pipeline(
+            fs.object_id(f"doc{index}"), fs.object_id(f"out{index}")
+        )
+    system.log.force()
+    steps_durable = app.step
+
+    # The third pipeline starts but the crash strikes before its
+    # records reach the stable log: durably, it never happened.
+    fs.write_file("doc2", DOCUMENTS[2])
+    app.read(fs.object_id("doc2"))
+    app.execute_step()
+    lost = system.crash()
+    print(f"\ncrash: {len(lost)} operations lost with the volatile log")
+
+    report = system.recover()
+    print(f"recovery: {report.ops_redone} operations re-executed, "
+          f"{report.skipped()} bypassed")
+    verify_recovered(system)
+
+    # The application state object is back to the durable prefix.
+    recovered = ApplicationRuntime(system, "app:etl", "upper")
+    assert recovered.step == steps_durable
+    print(f"application resumed at step {recovered.step} "
+          f"(the durable prefix)")
+
+    # ... and simply continues: re-run the third pipeline.
+    fs2 = RecoverableFileSystem(system)
+    fs2.write_file("doc2", DOCUMENTS[2])
+    recovered.run_pipeline(fs2.object_id("doc2"), fs2.object_id("out2"))
+    assert fs2.read_file("out2") == DOCUMENTS[2].upper()
+    print("third pipeline re-run to completion; outputs verified")
+
+
+def main() -> None:
+    compare_logging_schemes()
+    crash_mid_pipeline()
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

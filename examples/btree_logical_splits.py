@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""B-tree page splits with logical logging.
+
+The paper's database example: a page split copies half of a full page
+to a new page — "a logical split operation avoids the need to log the
+contents of the new B-tree node".  This demo loads a tree under both
+split-logging schemes, compares the log traffic, then crashes the
+logical-split tree mid-load and recovers it.
+
+Run:  python examples/btree_logical_splits.py
+"""
+
+import random
+
+from repro import RecoverableSystem, verify_recovered
+from repro.analysis import Table, format_bytes
+from repro.domains import RecoverableBTree, SplitLoggingMode
+
+INSERTS = 400
+VALUE = b"payload-" * 16  # 128 B values
+
+
+def load(tree: RecoverableBTree, count: int, seed: int = 42) -> None:
+    keys = list(range(count))
+    random.Random(seed).shuffle(keys)
+    for key in keys:
+        tree.insert(key, VALUE)
+
+
+def compare_split_logging() -> None:
+    table = Table(
+        f"Log traffic loading {INSERTS} keys (capacity-8 pages)",
+        ["split scheme", "log bytes", "data-value bytes"],
+    )
+    for mode in SplitLoggingMode:
+        system = RecoverableSystem()
+        tree = RecoverableBTree(system, capacity=8, mode=mode)
+        load(tree, INSERTS)
+        assert tree.check_structure() == INSERTS
+        table.add_row(
+            mode.value,
+            format_bytes(system.stats.log_bytes),
+            format_bytes(system.stats.log_value_bytes),
+        )
+    table.print()
+
+
+def crash_during_load() -> None:
+    system = RecoverableSystem()
+    tree = RecoverableBTree(system, capacity=8)
+    load(tree, INSERTS)
+    # Make the load durable, flush some pages, then crash.
+    system.log.force()
+    for _ in range(10):
+        system.purge()
+    system.crash()
+    report = system.recover()
+    verify_recovered(system)
+    print(f"\ncrash recovery: {report.ops_redone} ops redone, "
+          f"{report.skipped()} bypassed")
+
+    recovered = RecoverableBTree(system, capacity=8)
+    assert recovered.check_structure() == INSERTS
+    probe = random.Random(7).sample(range(INSERTS), 20)
+    assert all(recovered.lookup(key) == VALUE for key in probe)
+    print(f"tree intact after recovery: {INSERTS} keys, "
+          f"structure checks pass")
+
+    # Keep inserting after recovery — the allocator re-attached.
+    for key in range(INSERTS, INSERTS + 50):
+        recovered.insert(key, VALUE)
+    assert recovered.check_structure() == INSERTS + 50
+    print("50 post-recovery inserts OK")
+
+
+def main() -> None:
+    compare_split_logging()
+    crash_during_load()
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

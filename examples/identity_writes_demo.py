@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Watching the refined write graph and identity writes at work.
+
+Reconstructs Section 4's cycle — (a) Y=f(X,Y); (b) X=g(Y); (c) Y=h(Y) —
+prints the rW node structure as it evolves, and then shows the cache
+manager dissolving the resulting multi-object atomic flush set with
+identity writes so that every device write is single-object.
+
+Run:  python examples/identity_writes_demo.py
+"""
+
+from repro import Operation, OpKind, RecoverableSystem, verify_recovered
+
+
+def show_graph(system: RecoverableSystem, label: str) -> None:
+    graph = system.cache.write_graph()
+    print(f"\nrW after {label}:")
+    for node in graph.nodes:
+        ops = ",".join(sorted(op.name for op in node.ops))
+        preds = sorted(p.node_id for p in graph.predecessors(node))
+        print(
+            f"  node {node.node_id}: ops=[{ops}] "
+            f"vars={sorted(node.vars)} notx={sorted(node.notx)} "
+            f"preds={preds}"
+        )
+
+
+def main() -> None:
+    system = RecoverableSystem()  # identity-write strategy by default
+    system.registry.register(
+        "f", lambda reads, x, y: {y: reads[x] + reads[y]}
+    )
+    system.registry.register(
+        "g", lambda reads, y, x: {x: bytes(reversed(reads[y]))}
+    )
+    system.registry.register(
+        "h", lambda reads, y: {y: reads[y] + b"!"}
+    )
+
+    system.execute(Operation(
+        "init X", OpKind.PHYSICAL, reads=set(), writes={"X"},
+        payload={"X": b"xx"},
+    ))
+    system.execute(Operation(
+        "init Y", OpKind.PHYSICAL, reads=set(), writes={"Y"},
+        payload={"Y": b"yy"},
+    ))
+
+    system.execute(Operation(
+        "a", OpKind.LOGICAL, reads={"X", "Y"}, writes={"Y"},
+        fn="f", params=("X", "Y"),
+    ))
+    show_graph(system, "a: Y <- f(X,Y)")
+
+    system.execute(Operation(
+        "b", OpKind.LOGICAL, reads={"Y"}, writes={"X"},
+        fn="g", params=("Y", "X"),
+    ))
+    show_graph(system, "b: X <- g(Y)   (Y-before-X flush order)")
+
+    system.execute(Operation(
+        "c", OpKind.LOGICAL, reads={"Y"}, writes={"Y"},
+        fn="h", params=("Y",),
+    ))
+    show_graph(
+        system, "c: Y <- h(Y)   (cycle! collapsed to one {X,Y} node)"
+    )
+
+    print("\ndraining the cache with identity writes...")
+    system.flush_all()
+    print(f"  identity writes injected: {system.stats.identity_writes}")
+    print(f"  multi-object atomic flushes: {system.stats.atomic_flushes}")
+    print(f"  quiesce events: {system.stats.quiesce_events}")
+    assert system.stats.atomic_flushes == 0
+
+    system.crash()
+    system.recover()
+    verify_recovered(system)
+    print("\ncrash + recovery verified against the oracle")
+    print(f"final X = {system.read('X')!r}")
+    print(f"final Y = {system.read('Y')!r}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A database directory that survives real process crashes.
+
+Opens an on-disk database, loads data across simulated "sessions"
+(including one that dies via ``os._exit`` in a child process with
+unforced work in flight), and shows recovery-at-open restoring exactly
+the durable prefix every time.
+
+Run:  python examples/persistent_database.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+from repro.domains import RecoverableFileSystem
+from repro.domains.filesystem import register_filesystem_functions
+from repro.persist import PersistentSystem
+
+CHILD = textwrap.dedent(
+    """
+    import os, sys
+    sys.path.insert(0, {src!r})
+    from repro.persist import PersistentSystem
+    from repro.domains import RecoverableFileSystem
+    from repro.domains.filesystem import register_filesystem_functions
+
+    system = PersistentSystem.open(
+        {db!r}, domains=[register_filesystem_functions]
+    )
+    fs = RecoverableFileSystem(system)
+    fs.write_file("report", b"quarterly numbers " * 64)
+    fs.sort("report", "report.sorted")
+    system.log.force()                      # durable
+    fs.write_file("draft", b"half-typed thought...")  # NOT forced
+    os._exit(1)                             # power cord yanked
+    """
+)
+
+
+def main() -> None:
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    with tempfile.TemporaryDirectory() as root:
+        db = os.path.join(root, "demo-db")
+
+        # Session 1: create the database.
+        system = PersistentSystem.open(
+            db, domains=[register_filesystem_functions]
+        )
+        fs = RecoverableFileSystem(system)
+        fs.write_file("readme", b"this database survives crashes")
+        system.log.force()
+        print(f"session 1: created {db!r} and forced the log")
+        del system
+
+        # Session 2: a child process works and is killed mid-flight.
+        script = os.path.join(root, "child.py")
+        with open(script, "w") as handle:
+            handle.write(CHILD.format(src=src, db=db))
+        result = subprocess.run([sys.executable, script])
+        print(f"session 2: child process died with code {result.returncode}")
+
+        # Session 3: reopen — recovery replays the durable suffix.
+        system = PersistentSystem.open(
+            db, domains=[register_filesystem_functions]
+        )
+        report = system.last_report
+        print(f"session 3: recovery at open — {report.ops_redone} redone, "
+              f"{report.skipped()} bypassed")
+        fs = RecoverableFileSystem(system)
+        assert fs.read_file("readme") == b"this database survives crashes"
+        assert fs.read_file("report") is not None
+        assert fs.read_file("report.sorted") == bytes(
+            sorted(fs.read_file("report"))
+        )
+        assert fs.read_file("draft") is None  # unforced: never happened
+        print("  readme, report, report.sorted recovered; "
+              "the unforced draft correctly never happened")
+
+        # Housekeeping: flush + checkpoint keeps the WAL bounded.
+        system.flush_all()
+        system.checkpoint(truncate=True)
+        wal = os.path.getsize(os.path.join(db, "wal.log"))
+        print(f"  after flush+checkpoint+truncate: wal.log is {wal} bytes")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

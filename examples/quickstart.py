@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: logical logging, a crash, and redo recovery in 60 lines.
+
+Builds the paper's Figure 1(a) scenario directly on the public API:
+two logical operations — A: Y <- f(X, Y) and B: X <- g(Y) — whose log
+records carry only identifiers, then crashes the system and recovers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Operation, OpKind, RecoverableSystem, verify_recovered
+
+
+def main() -> None:
+    system = RecoverableSystem()
+
+    # Logical operations name deterministic transforms in a registry;
+    # replay re-reads inputs from the recoverable state, so no data
+    # values ever reach the log.
+    system.registry.register(
+        "f", lambda reads, x, y: {y: reads[x] + reads[y]}
+    )
+    system.registry.register(
+        "g", lambda reads, y, x: {x: bytes(reversed(reads[y]))}
+    )
+
+    # Seed X and Y with external data (physical writes: the one case
+    # where values must be logged — there is nowhere to re-read them).
+    system.execute(Operation(
+        "init X", OpKind.PHYSICAL, reads=set(), writes={"X"},
+        payload={"X": b"hello "},
+    ))
+    system.execute(Operation(
+        "init Y", OpKind.PHYSICAL, reads=set(), writes={"Y"},
+        payload={"Y": b"world"},
+    ))
+
+    # Figure 1(a): A reads X and Y, writes Y; B reads Y, writes X.
+    system.execute(Operation(
+        "A", OpKind.LOGICAL, reads={"X", "Y"}, writes={"Y"},
+        fn="f", params=("X", "Y"),
+    ))
+    system.execute(Operation(
+        "B", OpKind.LOGICAL, reads={"Y"}, writes={"X"},
+        fn="g", params=("Y", "X"),
+    ))
+    print(f"Y = {system.read('Y')!r}")
+    print(f"X = {system.read('X')!r}")
+
+    # The refined write graph dictates a safe flush order; install one
+    # node (the WAL force happens automatically).
+    system.purge()
+    print(f"log bytes: {system.stats.log_bytes}, "
+          f"of which data values: {system.stats.log_value_bytes}")
+
+    # Make the rest of the log durable, then crash: the cache and the
+    # volatile log buffer are gone.
+    system.log.force()
+    system.crash()
+
+    # Redo recovery: analysis pass + generalized rSI REDO test.
+    report = system.recover()
+    print(f"recovered: {report.ops_redone} redone, "
+          f"{report.skipped()} bypassed")
+
+    verify_recovered(system)  # recovered state == crash-free oracle
+    print(f"after recovery: Y = {system.read('Y')!r}, "
+          f"X = {system.read('X')!r}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

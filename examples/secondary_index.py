@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Secondary indexes maintained by logical operations.
+
+A database example beyond the paper's B-tree split: an index entry is
+*derivable* from the base record, so its maintenance operations can
+read the record from the recoverable base page instead of carrying the
+value in the log record.  The demo loads an update-heavy workload under
+both schemes, compares the log, then crashes mid-workload and shows the
+index recovered exactly in sync with the base table.
+
+Run:  python examples/secondary_index.py
+"""
+
+import hashlib
+
+from repro import RecoverableSystem, verify_recovered
+from repro.analysis import Table, format_bytes
+from repro.domains import IndexedKVStore, IndexLoggingMode
+
+ROUNDS = 60
+KEYS = 20
+
+
+def _record(key: str, version: int) -> bytes:
+    seed = hashlib.sha256(f"{key}:{version}".encode()).digest()
+    return seed * 64  # 2 KiB records
+
+
+def drive(store: IndexedKVStore) -> None:
+    for round_index in range(ROUNDS):
+        key = f"user{round_index % KEYS}"
+        store.put(key, _record(key, round_index))
+
+
+def compare_logging() -> None:
+    table = Table(
+        f"Log traffic: {ROUNDS} puts of 2 KiB records over {KEYS} keys",
+        ["index scheme", "log bytes", "data-value bytes"],
+    )
+    for mode in IndexLoggingMode:
+        system = RecoverableSystem()
+        store = IndexedKVStore(system, mode=mode)
+        drive(store)
+        store.check_index_consistency()
+        table.add_row(
+            mode.value,
+            format_bytes(system.stats.log_bytes),
+            format_bytes(system.stats.log_value_bytes),
+        )
+    table.print()
+
+
+def crash_and_recover() -> None:
+    system = RecoverableSystem()
+    store = IndexedKVStore(system)
+    drive(store)
+    system.log.force()
+    for _ in range(4):
+        system.purge()
+    system.crash()
+    report = system.recover()
+    verify_recovered(system)
+
+    recovered = IndexedKVStore(system)
+    entries = recovered.check_index_consistency()
+    sample = recovered.get("user3")
+    hits = recovered.find_by_value(sample)
+    assert "user3" in hits
+    print(f"\ncrash recovery: {report.ops_redone} redone, "
+          f"{report.skipped()} bypassed")
+    print(f"index verified consistent with the base table "
+          f"({entries} indexed entries); lookup-by-value works")
+
+
+def main() -> None:
+    compare_logging()
+    crash_and_recover()
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — a reproduction of Lomet & Tuttle's *Logical Logging to
+Extend Recovery to New Domains* (SIGMOD 1999).
+
+The library implements general redo recovery with logical log
+operations: the installation graph and explainable-state theory, the
+write graph W of [8], the paper's refined write graph rW, cache-manager
+identity writes, and SI/rSI-based REDO tests — plus the substrates
+(stable store, WAL, cache manager) and the paper's motivating recovery
+domains (application state, file systems, B-trees).
+
+Quickstart::
+
+    from repro import RecoverableSystem, Operation, OpKind
+
+    system = RecoverableSystem()
+    system.execute(Operation(
+        "copy(a,b)", OpKind.LOGICAL,
+        reads={"a"}, writes={"b"}, fn="copy", params=("a", "b"),
+    ))
+    system.crash()
+    system.recover()
+"""
+
+from repro.common import ObjectId, StateId
+from repro.core import (
+    OpKind,
+    Operation,
+    TOMBSTONE,
+    identity_write,
+    FunctionRegistry,
+    default_registry,
+    History,
+    InstallationGraph,
+    WriteWritePolicy,
+    WriteGraph,
+    RefinedWriteGraph,
+    RedoTest,
+    RedoAll,
+    VsiRedoTest,
+    GeneralizedRedoTest,
+    RecoveryReport,
+)
+from repro.cache import CacheConfig, GraphMode, MultiObjectStrategy
+from repro.storage import (
+    IOStats,
+    StableStore,
+    ShadowInstall,
+    FlushTransaction,
+    RawMultiWrite,
+    FuzzyBackup,
+)
+from repro.kernel import (
+    RecoverableSystem,
+    SystemConfig,
+    CrashInjector,
+    verify_recovered,
+    VerificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ObjectId",
+    "StateId",
+    "OpKind",
+    "Operation",
+    "TOMBSTONE",
+    "identity_write",
+    "FunctionRegistry",
+    "default_registry",
+    "History",
+    "InstallationGraph",
+    "WriteWritePolicy",
+    "WriteGraph",
+    "RefinedWriteGraph",
+    "RedoTest",
+    "RedoAll",
+    "VsiRedoTest",
+    "GeneralizedRedoTest",
+    "RecoveryReport",
+    "CacheConfig",
+    "GraphMode",
+    "MultiObjectStrategy",
+    "IOStats",
+    "StableStore",
+    "ShadowInstall",
+    "FlushTransaction",
+    "RawMultiWrite",
+    "FuzzyBackup",
+    "RecoverableSystem",
+    "SystemConfig",
+    "CrashInjector",
+    "verify_recovered",
+    "VerificationError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Measurement, tracing and reporting helpers."""
+
+from repro.analysis.tables import Table, format_bytes, ratio
+from repro.analysis.trace import TraceEvent, Tracer
+from repro.analysis.logstats import LogBreakdown, analyze_log
+
+__all__ = [
+    "Table",
+    "format_bytes",
+    "ratio",
+    "TraceEvent",
+    "Tracer",
+    "LogBreakdown",
+    "analyze_log",
+]

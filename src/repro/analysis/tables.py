@@ -1,0 +1,69 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints its result as an aligned ASCII table so that
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+comparisons as readable rows; EXPERIMENTS.md embeds the same output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (fixed thresholds, deterministic)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def ratio(numerator: float, denominator: float) -> str:
+    """A 'x.yz×' ratio string, guarding division by zero."""
+    if denominator == 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"
+
+
+class Table:
+    """Fixed-width table with a title, built row by row."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; cells are str()-ed."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The table as a printable string."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, rule, line(self.columns), rule]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(rule)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Print with a surrounding blank line (pytest -s friendly)."""
+        print()
+        print(self.render())

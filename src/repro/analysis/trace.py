@@ -1,0 +1,73 @@
+"""Event tracing for observability of cache-manager decisions.
+
+A :class:`Tracer` attached to a cache manager records the interesting
+events — operation execution, WAL forces, node installations (with
+their vars/Notx split), identity-write injections, evictions and
+checkpoints — as structured tuples.  Tests assert on sequences;
+examples print them to narrate what the machinery did.
+
+Tracing is opt-in and costs nothing when absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a kind plus structured details."""
+
+    kind: str
+    details: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Fetch one detail field."""
+        return dict(self.details).get(key, default)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.details)
+        return f"<{self.kind} {inner}>"
+
+
+class Tracer:
+    """Append-only event sink."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        #: Optional bound; oldest events are dropped beyond it.
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+
+    def emit(self, kind: str, **details: Any) -> None:
+        """Record one event."""
+        self.events.append(
+            TraceEvent(kind, tuple(sorted(details.items())))
+        )
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[0: len(self.events) - self.capacity]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def kinds(self) -> List[str]:
+        """The sequence of event kinds, in order."""
+        return [event.kind for event in self.events]
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

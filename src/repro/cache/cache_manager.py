@@ -1,0 +1,528 @@
+"""The cache manager: execution, write-graph maintenance, PurgeCache.
+
+Normal-execution flow for one operation (Section 2's WAL assumptions
+plus the Figure 6 incremental graph maintenance):
+
+1. read the operation's inputs through the cache (reading from the
+   stable store on a miss);
+2. append the operation's record to the volatile log (assigning its
+   lSI);
+3. apply the transform, updating cached entries (dirty, vSI = lSI);
+4. register the operation in the write graph and the dirty-object /
+   uninstalled-writer tables.
+
+Installation (PurgeCache, Figure 4, generalized for rW):
+
+1. choose a minimal write-graph node n;
+2. if |vars(n)| > 1, either dissolve the set with identity writes
+   (Section 4) or use an atomic flush mechanism;
+3. force the log through max(lSI of ops(n), lSIs of the blind writers
+   justifying Notx(n)) — the WAL protocol;
+4. flush vars(n); objects flushed become clean, objects in Notx(n)
+   remain dirty with advanced rSIs;
+5. log an installation record carrying the new rSIs (lazily — it need
+   not be forced; a lost installation record only costs extra redos);
+6. remove n from the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.common.errors import CacheError
+from repro.common.identifiers import NULL_SI, ObjectId, StateId
+from repro.cache.config import CacheConfig, GraphMode, MultiObjectStrategy
+from repro.cache.policies import LRUEviction
+from repro.core.functions import FunctionRegistry
+from repro.core.installation_graph import InstallationGraph, WriteWritePolicy
+from repro.core.operation import (
+    Operation,
+    TOMBSTONE,
+    execute_transform,
+    identity_write,
+)
+from repro.core.refined_write_graph import RefinedWriteGraph, RWNode
+from repro.core.state_identifiers import DirtyObjectTable, UninstalledWriters
+from repro.core.write_graph import WriteGraph, WriteGraphNode
+from repro.storage.stable_store import StableStore, StoredVersion
+from repro.storage.stats import IOStats
+from repro.wal.log_manager import LogManager
+from repro.wal.records import CheckpointRecord, FlushRecord, InstallationRecord
+
+#: Either write-graph node type; both expose ops/vars/notx/max_lsi.
+AnyNode = Union[RWNode, WriteGraphNode]
+
+
+@dataclass
+class CacheEntry:
+    """One cached object: current value, its vSI, and dirtiness."""
+
+    value: Any
+    vsi: StateId
+    dirty: bool
+
+
+class CacheManager:
+    """Dirty volatile state plus the machinery to install it safely."""
+
+    def __init__(
+        self,
+        store: StableStore,
+        log: LogManager,
+        registry: FunctionRegistry,
+        config: Optional[CacheConfig] = None,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self.store = store
+        self.log = log
+        self.registry = registry
+        self.config = config if config is not None else CacheConfig()
+        self.stats = stats if stats is not None else store.stats
+        self._entries: Dict[ObjectId, CacheEntry] = {}
+        self.dirty_table = DirtyObjectTable()
+        self._writers = UninstalledWriters()
+        self._uninstalled: Dict[StateId, Operation] = {}
+        self._rw = RefinedWriteGraph()
+        #: Access-recency tracker feeding the hot-object victim policy;
+        #: maintained regardless of the configured eviction policy.
+        self.heat = LRUEviction()
+        #: Optional event sink (see repro.analysis.trace); None = off.
+        self.tracer = None
+
+    def _emit(self, kind: str, **details) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(kind, **details)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, op: Operation) -> Dict[ObjectId, Any]:
+        """Log and apply ``op``; returns the values written.
+
+        The transform runs before the record is appended: an operation
+        that fails (bad inputs, missing source object) must leave no
+        trace on the log.
+        """
+        reads = {obj: self.read_object(obj) for obj in op.reads}
+        writes = execute_transform(op, reads, self.registry)
+        if set(writes) != set(op.writes):
+            raise CacheError(
+                f"{op!r} produced writes {sorted(writes)} but declared "
+                f"writeset {sorted(op.writes)}"
+            )
+        self.log.append_operation(op)
+        self._emit(
+            "execute", op=op.name, op_kind=op.kind.value, lsi=op.lsi,
+            writes=tuple(sorted(op.writes)),
+        )
+        for obj, value in writes.items():
+            self._apply_write(obj, value, op.lsi)
+        self._register(op)
+        self._enforce_capacity()
+        return writes
+
+    def read_object(self, obj: ObjectId) -> Any:
+        """Current value of ``obj``, reading through to the store.
+
+        Deleted objects (TOMBSTONE) and never-written objects read as
+        None, which domains treat as "does not exist".
+        """
+        entry = self._entries.get(obj)
+        if entry is None:
+            version = self.store.read(obj)
+            entry = CacheEntry(version.value, version.vsi, dirty=False)
+            self._entries[obj] = entry
+        self.heat.touch(obj)
+        self.config.eviction.touch(obj)
+        if entry.value is TOMBSTONE:
+            return None
+        return entry.value
+
+    def peek_object(self, obj: ObjectId) -> Any:
+        """Like :meth:`read_object` but with no I/O accounting and no
+        cache population — for verifiers and tests."""
+        entry = self._entries.get(obj)
+        if entry is not None:
+            return None if entry.value is TOMBSTONE else entry.value
+        version = self.store.peek(obj)
+        return None if version.value is TOMBSTONE else version.value
+
+    def vsi_of(self, obj: ObjectId) -> StateId:
+        """Current vSI of ``obj`` (cached version wins)."""
+        entry = self._entries.get(obj)
+        if entry is not None:
+            return entry.vsi
+        return self.store.vsi_of(obj)
+
+    def _apply_write(self, obj: ObjectId, value: Any, lsi: StateId) -> None:
+        entry = self._entries.get(obj)
+        if entry is None:
+            self._entries[obj] = CacheEntry(value, lsi, dirty=True)
+        else:
+            entry.value = value
+            entry.vsi = lsi
+            entry.dirty = True
+        self.heat.touch(obj)
+        self.config.eviction.touch(obj)
+
+    def _register(self, op: Operation) -> None:
+        for obj in op.writes:
+            self.dirty_table.note_write(obj, op.lsi)
+            self._writers.note(obj, op.lsi)
+        self._uninstalled[op.lsi] = op
+        if self.config.graph_mode is GraphMode.RW:
+            self._rw.add_operation(op)
+
+    # ------------------------------------------------------------------
+    # graph access
+    # ------------------------------------------------------------------
+    def uninstalled_operations(self) -> List[Operation]:
+        """Uninstalled operations in conflict (log) order."""
+        return [self._uninstalled[lsi] for lsi in sorted(self._uninstalled)]
+
+    def write_graph(self) -> Union[RefinedWriteGraph, WriteGraph]:
+        """The current write graph (W is recomputed on demand)."""
+        if self.config.graph_mode is GraphMode.RW:
+            return self._rw
+        installation = InstallationGraph(
+            self.uninstalled_operations(), WriteWritePolicy.REPEAT_HISTORY
+        )
+        return WriteGraph(installation)
+
+    # ------------------------------------------------------------------
+    # PurgeCache
+    # ------------------------------------------------------------------
+    def purge(self) -> bool:
+        """Install one write-graph node; False when nothing is dirty."""
+        graph = self.write_graph()
+        if not graph.nodes:
+            return False
+        use_identity = (
+            self.config.graph_mode is GraphMode.RW
+            and self.config.multi_object_strategy
+            is MultiObjectStrategy.IDENTITY_WRITES
+        )
+        for _attempt in range(len(graph.nodes) + 8):
+            minimal = graph.minimal_nodes()
+            if not minimal:  # pragma: no cover - graphs stay acyclic
+                raise CacheError("write graph has no minimal node")
+            node = min(minimal, key=lambda n: (len(n.vars), n.node_id))
+            if len(node.vars) > 1 and use_identity:
+                node = self._dissolve_flush_set(node)
+                if graph.predecessors(node):
+                    # Injection added inverse write-read edges; some
+                    # reader node must install first — pick again.
+                    continue
+            self._install_node(node, graph)
+            return True
+        raise CacheError("purge failed to converge")  # pragma: no cover
+
+    def flush_all(self) -> int:
+        """Drain the cache: install nodes until none remain."""
+        installed = 0
+        while self.purge():
+            installed += 1
+        return installed
+
+    def make_clean(self, obj: ObjectId) -> None:
+        """Install whatever is needed for ``obj`` to become clean.
+
+        Used before eviction: repeatedly installs minimal nodes that are
+        ancestors of (or are) the node holding ``obj``'s last writer.
+        """
+        guard = 0
+        while self.dirty_table.is_dirty(obj) or (
+            obj in self._entries and self._entries[obj].dirty
+        ):
+            guard += 1
+            if guard > len(self._uninstalled) + len(self._entries) + 8:
+                raise CacheError(f"make_clean({obj!r}) failed to converge")
+            if not self.purge():
+                raise CacheError(
+                    f"{obj!r} is dirty but the write graph is empty"
+                )
+
+    def evict(self, obj: ObjectId) -> None:
+        """Drop a clean object from the cache (STEAL requires clean)."""
+        entry = self._entries.get(obj)
+        if entry is None:
+            return
+        if entry.dirty:
+            raise CacheError(
+                f"cannot evict dirty object {obj!r}; call make_clean first"
+            )
+        del self._entries[obj]
+        self.heat.forget(obj)
+        self.config.eviction.forget(obj)
+        self._emit("evict", obj=obj)
+
+    def _enforce_capacity(self) -> None:
+        """Shrink the cache to the configured capacity.
+
+        Clean objects are evicted in replacement-policy order; when
+        nothing is clean, write-graph nodes are installed (PurgeCache)
+        until eviction candidates appear.  Re-entrant calls (capacity
+        pressure during an identity-write injection inside a purge) are
+        ignored — the outer call finishes the job.
+        """
+        capacity = self.config.capacity
+        if capacity is None or getattr(self, "_enforcing", False):
+            return
+        self._enforcing = True
+        try:
+            guard = 0
+            while len(self._entries) > capacity:
+                guard += 1
+                if guard > 4 * len(self._entries) + 16:
+                    raise CacheError("capacity enforcement did not converge")
+                clean = [
+                    obj
+                    for obj, entry in self._entries.items()
+                    if not entry.dirty
+                ]
+                if clean:
+                    victim = self.config.eviction.victims(clean)[0]
+                    self.evict(victim)
+                    continue
+                if not self.purge():
+                    # Nothing dirty yet nothing clean: impossible, but
+                    # never loop silently.
+                    raise CacheError(
+                        "over capacity with no evictable objects"
+                    )  # pragma: no cover
+        finally:
+            self._enforcing = False
+
+    # ------------------------------------------------------------------
+    # identity writes (Section 4)
+    # ------------------------------------------------------------------
+    def _dissolve_flush_set(self, node: RWNode) -> RWNode:
+        """Inject identity writes until the node's flush set is small.
+
+        Each ``W_IP(X, val(X))`` is fed through the ordinary execution
+        path: it is logged as a physical record carrying X's current
+        value, lands in its own new node, and its blind write removes X
+        from this node's vars.  The injections can add inverse
+        write-read edges (readers of the dropped values must install
+        first) and, rarely, merge nodes via cycle collapse; the caller's
+        minimal-node choice is re-evaluated afterwards, so we return the
+        node that now holds the anchor operation.
+        """
+        anchor = next(iter(node.ops))
+        guard = 0
+        # Suppress capacity enforcement while injecting: a nested purge
+        # could install (and thus invalidate) the very node being
+        # dissolved.  The post-injection execute() calls re-enable it.
+        previous = getattr(self, "_enforcing", False)
+        self._enforcing = True
+        try:
+            while True:
+                current = self._rw.node_of(anchor)
+                if current is None:  # pragma: no cover - defensive
+                    raise CacheError("anchor operation vanished from rW")
+                if len(current.vars) <= 1:
+                    return current
+                guard += 1
+                if guard > 4 * (len(current.vars) + len(self._rw.nodes)) + 16:
+                    raise CacheError(
+                        "identity-write injection did not converge"
+                    )
+                # Peel per the victim policy (default: lexicographic;
+                # the hot-object policy peels recently-used objects so
+                # a cold one is the single object flushed).
+                victim = self.config.victim_policy.peel(
+                    set(current.vars), self.heat
+                )
+                wip = identity_write(victim, self._entries[victim].value)
+                self._emit("identity-write", obj=victim)
+                self.execute(wip)
+                self.stats.identity_writes += 1
+        finally:
+            self._enforcing = previous
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def _install_node(
+        self, node: AnyNode, graph: Union[RefinedWriteGraph, WriteGraph]
+    ) -> None:
+        if graph.predecessors(node):  # pragma: no cover - defensive
+            raise CacheError(f"{node!r} is not minimal")
+        ops = sorted(node.ops, key=lambda o: o.lsi)
+        vars_ = set(node.vars)
+        notx = set(node.notx)
+
+        # Discharge the installed writes, then read off the new rSIs.
+        for op in ops:
+            for obj in op.writes:
+                self._writers.discharge(obj, op.lsi)
+        new_rsis: Dict[ObjectId, Optional[StateId]] = {}
+        for obj in vars_ | notx:
+            new_rsis[obj] = self._writers.first(obj)
+
+        # WAL: the node's own records, plus the blind writers that
+        # justify not flushing Notx(n), must be stable before we flush.
+        force_lsi = node.max_lsi()
+        if self.config.wal_force_notx_writers:
+            for obj in notx:
+                rsi = new_rsis[obj]
+                if rsi is not None:
+                    force_lsi = max(force_lsi, rsi)
+        self.log.force_through(force_lsi)
+        for op in ops:
+            self.log.assert_stable(op.lsi)
+
+        # Flush vars(n).
+        self._flush_objects(vars_)
+        self.stats.flushes += 1
+        self._emit(
+            "install",
+            vars=tuple(sorted(vars_)),
+            notx=tuple(sorted(notx)),
+            ops=tuple(op.name for op in ops),
+        )
+
+        # Installation record (lazy): lets the analysis pass advance
+        # rSIs for both flushed and unexposed objects.  The degenerate
+        # physiological case — one object flushed fully clean, nothing
+        # unexposed — gets the cheaper flush record the paper describes
+        # ("flushes can be lazily logged after the flush"); the two are
+        # equivalent to the analysis pass.
+        if self.config.log_installations:
+            if (
+                len(vars_) == 1
+                and not notx
+                and new_rsis[next(iter(vars_))] is None
+            ):
+                (obj,) = vars_
+                entry = self._entries.get(obj)
+                vsi = entry.vsi if entry is not None else NULL_SI
+                self.log.append(FlushRecord(obj, vsi))
+            else:
+                self.log.append(
+                    InstallationRecord(
+                        flushed={obj: new_rsis[obj] for obj in vars_},
+                        unexposed={obj: new_rsis[obj] for obj in notx},
+                        installed_lsis=tuple(op.lsi for op in ops),
+                    )
+                )
+
+        # Dirty-table and cache-entry bookkeeping.
+        for obj in vars_:
+            if new_rsis[obj] is None:
+                self.dirty_table.remove(obj)
+                entry = self._entries.get(obj)
+                if entry is not None:
+                    if entry.value is TOMBSTONE:
+                        del self._entries[obj]
+                    else:
+                        entry.dirty = False
+            else:
+                # A flushed object with a remaining uninstalled writer
+                # cannot occur for vars (the node holds the last
+                # writer); defensive only.
+                self.dirty_table.advance(obj, new_rsis[obj])
+        for obj in notx:
+            rsi = new_rsis[obj]
+            if rsi is None:
+                # Possible when the node also flushed the object via
+                # vars in a merged node; treat as clean.
+                self.dirty_table.remove(obj)
+            else:
+                self.dirty_table.advance(obj, rsi)
+
+        for op in ops:
+            del self._uninstalled[op.lsi]
+        if isinstance(graph, RefinedWriteGraph):
+            graph.remove_node(node)  # also W-mode graphs are throwaway
+
+    def _flush_objects(self, objs: Set[ObjectId]) -> None:
+        """Write the current cached versions of ``objs`` to the store."""
+        if not objs:
+            return
+        versions: Dict[ObjectId, StoredVersion] = {}
+        deletions: List[ObjectId] = []
+        for obj in sorted(objs):
+            entry = self._entries[obj]
+            if entry.value is TOMBSTONE:
+                deletions.append(obj)
+            else:
+                versions[obj] = StoredVersion(entry.value, entry.vsi)
+        if len(versions) > 1:
+            self.config.mechanism.flush(self.store, versions, self.log)
+        elif len(versions) == 1:
+            ((obj, version),) = versions.items()
+            self.config.mechanism.flush_one(self.store, obj, version)
+        for obj in deletions:
+            # Removing a terminated object is one metadata write.
+            self.stats.object_writes += 1
+            self.store.delete(obj)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, truncate: bool = False) -> StateId:
+        """Log a checkpoint record (the dirty object table) and force.
+
+        With ``truncate=True`` the stable log is truncated up to the
+        redo scan start point, which only installed records precede.
+        """
+        record = CheckpointRecord(self.dirty_table.snapshot())
+        lsi = self.log.append(record)
+        self.log.force()
+        self._emit(
+            "checkpoint", lsi=lsi, dirty=len(record.dirty_objects),
+            truncate=truncate,
+        )
+        if truncate:
+            start = self.dirty_table.min_rsi()
+            redo_start = start if start is not None else lsi
+            cut = min(redo_start, lsi)
+            self.log.truncate_before(cut, redo_start=cut)
+        return lsi
+
+    # ------------------------------------------------------------------
+    # recovery adoption
+    # ------------------------------------------------------------------
+    def adopt_recovery(
+        self,
+        volatile: Mapping[ObjectId, Tuple[Any, StateId]],
+        redone_ops: List[Operation],
+    ) -> None:
+        """Seed a fresh cache manager with the outcome of a redo pass.
+
+        The redone operations are uninstalled again (their records are
+        already on the stable log, so nothing is re-logged); the write
+        graph, dirty object table and writer index are rebuilt from them
+        in log order.
+        """
+        if self._uninstalled:
+            raise CacheError("adopt_recovery requires an empty cache manager")
+        for obj, (value, vsi) in volatile.items():
+            self._entries[obj] = CacheEntry(value, vsi, dirty=True)
+        for op in sorted(redone_ops, key=lambda o: o.lsi):
+            for obj in op.writes:
+                self.dirty_table.note_write(obj, op.lsi)
+                self._writers.note(obj, op.lsi)
+            self._uninstalled[op.lsi] = op
+            if self.config.graph_mode is GraphMode.RW:
+                self._rw.add_operation(op)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def dirty_objects(self) -> List[ObjectId]:
+        """Objects with uninstalled updates, per the dirty object table."""
+        return sorted(obj for obj, _ in self.dirty_table.items())
+
+    def cached_objects(self) -> List[ObjectId]:
+        """All object ids currently resident in the cache."""
+        return sorted(self._entries)
+
+    def entry(self, obj: ObjectId) -> Optional[CacheEntry]:
+        """The raw cache entry for tests and verifiers."""
+        return self._entries.get(obj)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,34 @@
+"""Shared primitive types used across the reproduction.
+
+This package holds the vocabulary that every other subpackage speaks:
+object identifiers, state identifiers, the size model used for log/I-O
+accounting, error types, and a deterministic RNG helper.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    WALViolationError,
+    TornWriteError,
+    UnrecoverableStateError,
+    RecoveryError,
+    UnknownFunctionError,
+    CacheError,
+)
+from repro.common.identifiers import ObjectId, StateId, NULL_SI
+from repro.common.sizes import size_of, ID_SIZE, RECORD_HEADER_SIZE
+
+__all__ = [
+    "ReproError",
+    "WALViolationError",
+    "TornWriteError",
+    "UnrecoverableStateError",
+    "RecoveryError",
+    "UnknownFunctionError",
+    "CacheError",
+    "ObjectId",
+    "StateId",
+    "NULL_SI",
+    "size_of",
+    "ID_SIZE",
+    "RECORD_HEADER_SIZE",
+]

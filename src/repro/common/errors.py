@@ -1,0 +1,60 @@
+"""Exception hierarchy for the recovery reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class WALViolationError(ReproError):
+    """The write-ahead-log protocol was violated.
+
+    Raised when an attempt is made to flush an object whose most recent
+    update has not yet reached the stable log.  The paper assumes WAL
+    throughout ("all changes in stable system state must be described by
+    operations on the stable log before the changes caused by the
+    operation are installed"); this error is the executable form of that
+    assumption.
+    """
+
+
+class TornWriteError(ReproError):
+    """A multi-object write was torn by a crash.
+
+    Only raised by the raw disk model when a crash interrupts a
+    multi-object flush that was not protected by an atomicity mechanism
+    (shadow install or flush transaction).
+    """
+
+
+class UnrecoverableStateError(ReproError):
+    """The stable state cannot be explained by any installed prefix set.
+
+    Detected by the recoverability verifier: no prefix set I of the
+    stable history explains the post-crash stable state, so redo
+    recovery cannot succeed (Section 2 of the paper).
+    """
+
+
+class RecoveryError(ReproError):
+    """Redo recovery failed to reproduce the pre-crash state."""
+
+
+class UnknownFunctionError(ReproError):
+    """A logical log record names a transform not in the function registry.
+
+    Logical log records carry a function identifier instead of data
+    values; replay requires the identifier to resolve to a registered
+    deterministic function.
+    """
+
+
+class CacheError(ReproError):
+    """Cache-manager misuse, e.g. evicting a dirty object."""
+
+
+class LogTruncationError(ReproError):
+    """An attempt was made to truncate the log past an uninstalled operation."""

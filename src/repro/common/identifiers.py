@@ -1,0 +1,26 @@
+"""Object and state identifiers.
+
+The paper abstracts recoverable entities as *objects* named by small
+identifiers ("logging a source identifier that is unlikely to be larger
+than 16 bytes is a great saving") and orders log records and object
+versions with *state identifiers* (SIs).  Log sequence numbers (LSNs) are
+the usual realization of SIs; the paper only requires that an object's
+SIs increase monotonically, which integers satisfy.
+"""
+
+from __future__ import annotations
+
+#: Recoverable objects are named by strings, e.g. ``"file:alpha"`` or
+#: ``"page:37"``.  The string is the identifier that logical log records
+#: store in place of data values.
+ObjectId = str
+
+#: State identifiers (SIs).  We use plain integers: the log manager hands
+#: out monotonically increasing LSNs which serve as the lSI of each log
+#: record, and objects carry a vSI (the lSI of the last operation whose
+#: effect the stored version reflects).
+StateId = int
+
+#: The SI carried by an object that no logged operation has ever written.
+#: Every real lSI is strictly greater.
+NULL_SI: StateId = 0

@@ -1,0 +1,29 @@
+"""Deterministic random number generation for workloads and experiments.
+
+Every experiment in the benchmark harness is seeded so that tables are
+reproducible run-to-run.  Workload generators accept either a seed or an
+existing :class:`random.Random`; this helper normalizes the two.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+SeedLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    Passing an existing ``Random`` returns it unchanged so that a caller
+    can thread one generator through several workload phases.  ``None``
+    yields a generator seeded with 0 — experiments are deterministic by
+    default, and callers that want true variation must opt in with an
+    explicit seed.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        seed = 0
+    return random.Random(seed)

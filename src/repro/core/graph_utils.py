@@ -1,0 +1,111 @@
+"""Small graph helpers shared by the write-graph implementations.
+
+Both write graphs need strongly-connected-component collapse ("collapse
+V with respect to the equivalence classes of nodes in S" in Figure 3)
+and a union-find for the writeset-overlap transitive closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class UnionFind:
+    """Union-find over hashable items, used for transitive closures."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+
+    def add(self, item: Hashable) -> None:
+        """Ensure ``item`` is present as a singleton class."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the representative of ``item``'s class."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        """Merge the classes of ``a`` and ``b``."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def classes(self) -> List[Set[Hashable]]:
+        """All equivalence classes as sets."""
+        grouped: Dict[Hashable, Set[Hashable]] = {}
+        for item in self._parent:
+            grouped.setdefault(self.find(item), set()).add(item)
+        return list(grouped.values())
+
+
+def strongly_connected_components(
+    nodes: Iterable[Node], successors: Mapping[Node, Set[Node]]
+) -> List[Set[Node]]:
+    """Tarjan's algorithm, iteratively, over an adjacency mapping.
+
+    Returns the SCCs in reverse topological order (standard Tarjan
+    emission order).  Nodes absent from ``successors`` are treated as
+    having no out-edges.
+    """
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[Set[Node]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        # Iterative DFS: each frame is (node, iterator over successors).
+        work: List[tuple] = [(root, iter(successors.get(root, ())))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -1,0 +1,118 @@
+"""Histories and conflict graphs.
+
+A history is the conflict-ordered sequence of operations the system has
+executed.  The paper only requires that operations on the log be in
+*conflict order*, which is a partial order; any total order consistent
+with it is a legal schedule.  Our systems submit operations through one
+sequencer, so submission order is such a total order, and ``op_id`` is
+the operation's position in it.
+
+The conflict graph itself (edges between every conflicting pair) is
+exposed for the explainability machinery, which needs "the last
+operation (in conflict order) writing x within I" and "the minimal
+operation of H − I reading or writing x".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.operation import Operation
+
+
+class History:
+    """An append-only conflict-ordered sequence of operations."""
+
+    def __init__(self, ops: Optional[Iterable[Operation]] = None) -> None:
+        self._ops: List[Operation] = []
+        self._writers: Dict[ObjectId, List[Operation]] = {}
+        self._readers: Dict[ObjectId, List[Operation]] = {}
+        if ops:
+            for op in ops:
+                self.append(op)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, op: Operation) -> Operation:
+        """Add ``op`` at the end of conflict order, assigning its op_id."""
+        op.op_id = len(self._ops)
+        self._ops.append(op)
+        for obj in op.writes:
+            self._writers.setdefault(obj, []).append(op)
+        for obj in op.reads:
+            self._readers.setdefault(obj, []).append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self._ops[index]
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """The operations in conflict order."""
+        return tuple(self._ops)
+
+    def prefix(self, length: int) -> "History":
+        """A new History over the first ``length`` operations.
+
+        op_ids are re-assigned but, being positional, coincide with the
+        originals.
+        """
+        sub = History()
+        for op in self._ops[:length]:
+            sub.append(op)
+        return sub
+
+    # ------------------------------------------------------------------
+    # conflict structure
+    # ------------------------------------------------------------------
+    def writers_of(self, obj: ObjectId) -> List[Operation]:
+        """Operations writing ``obj``, in conflict order."""
+        return list(self._writers.get(obj, []))
+
+    def readers_of(self, obj: ObjectId) -> List[Operation]:
+        """Operations reading ``obj``, in conflict order."""
+        return list(self._readers.get(obj, []))
+
+    def last_writer(
+        self, obj: ObjectId, within: Optional[Set[Operation]] = None
+    ) -> Optional[Operation]:
+        """The last operation (in conflict order) writing ``obj``.
+
+        With ``within`` given, only operations in that set are
+        considered — this is how the explainability definitions ask for
+        "the value of x after the last operation of I".
+        """
+        writers = self._writers.get(obj, [])
+        for op in reversed(writers):
+            if within is None or op in within:
+                return op
+        return None
+
+    def conflict_edges(self) -> Iterator[Tuple[Operation, Operation]]:
+        """Yield every conflicting ordered pair (O, P) with O < P."""
+        ops = self._ops
+        for j, later in enumerate(ops):
+            for i in range(j):
+                if ops[i].conflicts_with(later):
+                    yield ops[i], later
+
+    def accessors_in_order(self, obj: ObjectId) -> List[Operation]:
+        """Operations reading or writing ``obj``, in conflict order."""
+        merged = {
+            op.op_id: op
+            for op in self._writers.get(obj, [])
+        }
+        for op in self._readers.get(obj, []):
+            merged[op.op_id] = op
+        return [merged[k] for k in sorted(merged)]

@@ -1,0 +1,131 @@
+"""The installation graph (Section 2).
+
+Nodes are operations; edges constrain the order in which operations may
+be *installed* into the stable state.  It is derived from the conflict
+graph by:
+
+* keeping all **read-write** edges — O → P when O < P and
+  ``readset(O) ∩ writeset(P) ≠ ∅``.  If P's update reached the stable
+  state but O's did not, O can no longer be replayed because its input
+  was overwritten;
+* throwing away all **write-read** edges;
+* keeping only some **write-write** edges — O → P when P ∈ must(O) but
+  P ∉ can(O).
+
+must()/can() approximation
+--------------------------
+[8] defines ``must(O)`` as the operations that would have to be
+recovered by re-execution were ``writeset(O)`` reset by redoing O, and
+``can(O)`` as those recoverable as a side effect of recovering must(O).
+The paper pursues the strategy in which recovery **never resets state**
+(history is repeated forward), under which write-write order cannot be
+violated and no write-write installation edges are required; that is our
+default policy, ``WriteWritePolicy.REPEAT_HISTORY``.
+
+``WriteWritePolicy.CONSERVATIVE`` keeps an edge O → P for *every* later
+P with an overlapping writeset.  It is sound (it only adds constraints)
+and is used by tests and the E8 ablation to quantify how much the
+repeat-history strategy buys.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.operation import Operation
+
+
+class WriteWritePolicy(enum.Enum):
+    """Which write-write edges the installation graph keeps."""
+
+    #: Recovery repeats history and never resets installed state, so no
+    #: write-write edges arise (the paper's "second strategy").
+    REPEAT_HISTORY = "repeat-history"
+    #: Keep every overlapping-writeset edge: must(O) with can(O) = ∅.
+    CONSERVATIVE = "conservative"
+
+
+class InstallationGraph:
+    """Installation graph over a set of operations in conflict order."""
+
+    def __init__(
+        self,
+        ops: Iterable[Operation],
+        write_write: WriteWritePolicy = WriteWritePolicy.REPEAT_HISTORY,
+    ) -> None:
+        self.ops: List[Operation] = sorted(ops, key=lambda o: o.op_id)
+        self.policy = write_write
+        self._succ: Dict[Operation, Set[Operation]] = {o: set() for o in self.ops}
+        self._pred: Dict[Operation, Set[Operation]] = {o: set() for o in self.ops}
+        self._build()
+
+    def _build(self) -> None:
+        ops = self.ops
+        for j, later in enumerate(ops):
+            for i in range(j):
+                earlier = ops[i]
+                if self._has_edge(earlier, later):
+                    self._succ[earlier].add(later)
+                    self._pred[later].add(earlier)
+
+    def _has_edge(self, earlier: Operation, later: Operation) -> bool:
+        if earlier.reads & later.writes:
+            return True  # read-write edge
+        if self.policy is WriteWritePolicy.CONSERVATIVE:
+            if earlier.writes & later.writes:
+                return True  # conservative write-write edge
+        return False
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def successors(self, op: Operation) -> Set[Operation]:
+        """Operations that must be installed after ``op``."""
+        return set(self._succ[op])
+
+    def predecessors(self, op: Operation) -> Set[Operation]:
+        """Operations that must be installed before ``op``."""
+        return set(self._pred[op])
+
+    def edges(self) -> Iterator[Tuple[Operation, Operation]]:
+        """All installation edges as (earlier, later) pairs."""
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield src, dst
+
+    def minimal_operations(
+        self, excluding: Optional[Set[Operation]] = None
+    ) -> List[Operation]:
+        """Operations with no uninstalled installation predecessors.
+
+        ``excluding`` is the set already considered installed; a minimal
+        uninstalled operation (Theorem 1) has all its predecessors in
+        that set.
+        """
+        installed = excluding or set()
+        return [
+            op
+            for op in self.ops
+            if op not in installed
+            and all(p in installed for p in self._pred[op])
+        ]
+
+    def installation_order(self) -> List[Operation]:
+        """A topological order of the graph (conflict order works:
+        every edge goes from an earlier to a later operation)."""
+        return list(self.ops)
+
+    def must(self, op: Operation) -> Set[Operation]:
+        """Later operations whose writes would be reset by redoing op."""
+        return {
+            later
+            for later in self.ops
+            if later.op_id > op.op_id and (later.writes & op.writes)
+        }
+
+    def __contains__(self, op: Operation) -> bool:
+        return op in self._succ
+
+    def __len__(self) -> int:
+        return len(self.ops)

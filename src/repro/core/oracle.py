@@ -1,0 +1,66 @@
+"""In-memory oracle execution of histories.
+
+The explainability definitions speak of "the value of x after the last
+operation of I" — a statement about the *ideal* crash-free execution.
+The oracle replays a history in memory (no cache, no log, no crashes)
+and answers those questions.  It is also what the recoverability
+verifier compares a recovered system against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.common.identifiers import ObjectId
+from repro.core.functions import FunctionRegistry, default_registry
+from repro.core.operation import Operation, TOMBSTONE, execute_transform
+
+
+class Oracle:
+    """Replays operations in conflict order against an in-memory state."""
+
+    def __init__(
+        self,
+        registry: Optional[FunctionRegistry] = None,
+        initial: Optional[Mapping[ObjectId, Any]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.initial: Dict[ObjectId, Any] = dict(initial or {})
+
+    def replay(self, ops: Iterable[Operation]) -> Dict[ObjectId, Any]:
+        """Return the state after executing ``ops`` in the given order."""
+        state: Dict[ObjectId, Any] = dict(self.initial)
+        for op in ops:
+            reads = {obj: state.get(obj) for obj in op.reads}
+            writes = execute_transform(op, reads, self.registry)
+            state.update(writes)
+        return state
+
+    def value_after(
+        self, ops: Iterable[Operation], obj: ObjectId
+    ) -> Any:
+        """The value of ``obj`` after executing ``ops`` in order."""
+        return self.replay(ops).get(obj, self.initial.get(obj))
+
+    def trajectory(
+        self, ops: Iterable[Operation]
+    ) -> List[Dict[ObjectId, Any]]:
+        """States after each prefix: ``trajectory(ops)[k]`` is the state
+        after the first k operations (index 0 is the initial state)."""
+        state: Dict[ObjectId, Any] = dict(self.initial)
+        states = [dict(state)]
+        for op in ops:
+            reads = {obj: state.get(obj) for obj in op.reads}
+            writes = execute_transform(op, reads, self.registry)
+            state.update(writes)
+            states.append(dict(state))
+        return states
+
+    def live_objects(self, ops: Iterable[Operation]) -> Set[ObjectId]:
+        """Objects whose final oracle value is present and not deleted."""
+        final = self.replay(ops)
+        return {
+            obj
+            for obj, value in final.items()
+            if value is not TOMBSTONE and value is not None
+        }

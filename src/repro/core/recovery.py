@@ -1,0 +1,318 @@
+"""Crash recovery: the analysis and redo passes.
+
+This is the executable form of ``Recover(D, I)`` (Figure 2) in its
+practical ARIES-like shape, generalized per Section 5:
+
+1. **Analysis pass** — retrieve the latest checkpoint's dirty object
+   table, then scan forward: operation records re-dirty objects
+   (rSI = lSI of the first uninstalled writer), installation records
+   advance or remove rSIs (for flushed *and* unexposed objects), flush
+   records remove objects, and committed flush transactions are
+   re-applied to the stable store to repair torn in-place overwrites.
+2. **Redo pass** — scan operation records from the minimum rSI,
+   submitting each to the configured REDO test; approved operations are
+   *trial executed*: an execution that raises, or that attempts to
+   update more than the original writeset, is **voided** (Section 5's
+   expanded REDO rules b and c).  Redone effects live in a volatile
+   recovery cache over the stable store; nothing is flushed here —
+   flushing after recovery obeys the same write-graph rules as normal
+   execution, which the kernel handles by adopting the redone
+   operations into a fresh cache manager.
+
+The pass never resets installed state (the paper's second write-write
+strategy); history is only ever repeated forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import UnknownFunctionError
+from repro.common.identifiers import NULL_SI, ObjectId, StateId
+from repro.core.functions import FunctionRegistry
+from repro.core.operation import Operation, execute_transform
+from repro.core.redo import RedoDecision, RedoTest, VsiRedoTest
+from repro.core.state_identifiers import DirtyObjectTable
+from repro.storage.stable_store import StableStore
+from repro.storage.stats import IOStats
+from repro.wal.log_manager import LogManager
+from repro.wal.records import (
+    CheckpointRecord,
+    FlushRecord,
+    FlushTxnCommitRecord,
+    FlushTxnValuesRecord,
+    InstallationRecord,
+    OperationRecord,
+)
+
+
+@dataclass
+class RecoveryReport:
+    """Counters describing one recovery run."""
+
+    checkpoint_lsi: StateId = NULL_SI
+    analysis_records: int = 0
+    redo_start_lsi: StateId = NULL_SI
+    records_scanned: int = 0
+    ops_considered: int = 0
+    ops_redone: int = 0
+    ops_skipped_installed: int = 0
+    ops_skipped_unexposed: int = 0
+    ops_voided: int = 0
+    flush_txns_reapplied: int = 0
+
+    def skipped(self) -> int:
+        """All operations bypassed without re-execution."""
+        return self.ops_skipped_installed + self.ops_skipped_unexposed
+
+
+@dataclass
+class RecoveryOutcome:
+    """Everything the kernel needs to resume after recovery."""
+
+    report: RecoveryReport
+    #: The reconstructed dirty object table (rSIs) after analysis+redo.
+    dirty: DirtyObjectTable
+    #: Volatile values produced by redo: obj -> (value, vSI).
+    volatile: Dict[ObjectId, Tuple[Any, StateId]]
+    #: Redone (still uninstalled) operations in log order.
+    redone_ops: List[Operation] = field(default_factory=list)
+    #: Stable history: operations whose records survived on the log,
+    #: in log order (the post-crash H for verification).
+    stable_ops: List[Operation] = field(default_factory=list)
+
+
+def _all_dirty_from(
+    stable_ops: List[Operation], start: StateId
+) -> DirtyObjectTable:
+    """Media-recovery dirty table: every object written at or after the
+    backup-start point is potentially stale in the restored image."""
+    table = DirtyObjectTable()
+    for op in stable_ops:
+        if op.lsi >= start:
+            for obj in op.writes:
+                table.note_write(obj, op.lsi)
+    if not len(table):
+        # Nothing logged since the backup: force an (empty) scan window
+        # by leaving the table empty — min_rsi() None means no redo.
+        return table
+    return table
+
+
+class RecoveryManager:
+    """Runs analysis + redo against a stable log and stable store."""
+
+    def __init__(
+        self,
+        log: LogManager,
+        store: StableStore,
+        registry: FunctionRegistry,
+        redo_test: RedoTest,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        self.log = log
+        self.store = store
+        self.registry = registry
+        self.redo_test = redo_test
+        self.stats = stats if stats is not None else IOStats()
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, media_redo_start: Optional[StateId] = None
+    ) -> RecoveryOutcome:
+        """Execute both passes and return the outcome.
+
+        ``media_redo_start`` switches to media-recovery mode: the
+        stable store was just replaced by a (fuzzy) backup, so the
+        dirty-object table reconstructed by analysis describes the
+        *lost* store and cannot be trusted for skipping.  The redo scan
+        instead starts at the backup-start lSI and relies purely on the
+        per-object vSI test — the classical media-recovery discipline
+        (the full treatment of logical operations over fuzzy backups is
+        the companion paper [10]; see DESIGN.md for scope).
+        """
+        report = RecoveryReport()
+        dirty, stable_ops = self._analysis_pass(report)
+        if media_redo_start is not None:
+            dirty = _all_dirty_from(stable_ops, media_redo_start)
+        volatile, redone = self._redo_pass(
+            report,
+            dirty,
+            redo_test=VsiRedoTest() if media_redo_start is not None else None,
+        )
+        return RecoveryOutcome(
+            report=report,
+            dirty=dirty,
+            volatile=volatile,
+            redone_ops=redone,
+            stable_ops=stable_ops,
+        )
+
+    # ------------------------------------------------------------------
+    # analysis pass
+    # ------------------------------------------------------------------
+    def _analysis_pass(
+        self, report: RecoveryReport
+    ) -> Tuple[DirtyObjectTable, List[Operation]]:
+        checkpoint: Optional[CheckpointRecord] = None
+        for record in self.log.stable_records():
+            if isinstance(record, CheckpointRecord):
+                checkpoint = record
+        if checkpoint is not None:
+            dirty = DirtyObjectTable(checkpoint.dirty_objects)
+            report.checkpoint_lsi = checkpoint.lsi
+            scan_from = checkpoint.lsi
+        else:
+            dirty = DirtyObjectTable()
+            scan_from = NULL_SI
+
+        stable_ops: List[Operation] = []
+        pending_txn_values: Dict[int, FlushTxnValuesRecord] = {}
+        # Operation records before the checkpoint still matter for the
+        # stable history (verification) even though their dirty-table
+        # effect is summarized by the checkpoint.
+        for record in self.log.stable_records():
+            if isinstance(record, OperationRecord):
+                stable_ops.append(record.op)
+            if record.lsi < scan_from:
+                continue
+            report.analysis_records += 1
+            if isinstance(record, OperationRecord):
+                for obj in record.op.writes:
+                    dirty.note_write(obj, record.lsi)
+            elif isinstance(record, InstallationRecord):
+                self._apply_installation(dirty, record)
+            elif isinstance(record, FlushRecord):
+                dirty.remove(record.obj)
+            elif isinstance(record, FlushTxnValuesRecord):
+                pending_txn_values[record.txn_id] = record
+            elif isinstance(record, FlushTxnCommitRecord):
+                values = pending_txn_values.pop(record.txn_id, None)
+                if values is not None:
+                    self._reapply_flush_txn(values)
+                    report.flush_txns_reapplied += 1
+        return dirty, stable_ops
+
+    @staticmethod
+    def _apply_installation(
+        dirty: DirtyObjectTable, record: InstallationRecord
+    ) -> None:
+        for mapping in (record.flushed, record.unexposed):
+            for obj, rsi in mapping.items():
+                if rsi is None:
+                    dirty.remove(obj)
+                else:
+                    # Analysis reconstructs, so assignment (not the
+                    # monotone advance) is correct here: the record is
+                    # authoritative for the moment it was logged.
+                    dirty.remove(obj)
+                    dirty.note_write(obj, rsi)
+
+    def _reapply_flush_txn(self, values: FlushTxnValuesRecord) -> None:
+        """Re-apply a committed flush transaction to the stable store.
+
+        Idempotent: versions already in place are rewritten with the
+        same value/vSI.  This repairs in-place overwrites torn by the
+        crash (the mechanism's durability story).
+        """
+        for obj, (value, vsi) in values.versions.items():
+            if self.store.vsi_of(obj) < vsi:
+                self.store.write(obj, value, vsi)
+
+    # ------------------------------------------------------------------
+    # redo pass
+    # ------------------------------------------------------------------
+    def _redo_pass(
+        self,
+        report: RecoveryReport,
+        dirty: DirtyObjectTable,
+        redo_test: Optional[RedoTest] = None,
+    ) -> Tuple[Dict[ObjectId, Tuple[Any, StateId]], List[Operation]]:
+        test = redo_test if redo_test is not None else self.redo_test
+        start = dirty.min_rsi()
+        if start is None:
+            # Nothing dirty: no redo needed.
+            report.redo_start_lsi = self.log.stable_end_lsi() + 1
+            return {}, []
+        report.redo_start_lsi = start
+
+        volatile: Dict[ObjectId, Tuple[Any, StateId]] = {}
+        redone: List[Operation] = []
+        probed: set = set()
+
+        def vsi_of(obj: ObjectId) -> StateId:
+            if obj in volatile:
+                return volatile[obj][1]
+            if obj not in probed:
+                # The paper: the vSI check comes "at the additional
+                # cost of reading a page".  Charge the first probe of
+                # each stable object.
+                probed.add(obj)
+                self.stats.object_reads += 1
+            return self.store.vsi_of(obj)
+
+        def value_of(obj: ObjectId) -> Any:
+            if obj in volatile:
+                return volatile[obj][0]
+            if self.store.contains(obj):
+                return self.store.read(obj).value
+            return None
+
+        for record in self.log.stable_records(from_lsi=start):
+            report.records_scanned += 1
+            self.stats.log_records_scanned += 1
+            if not isinstance(record, OperationRecord):
+                continue
+            op = record.op
+            report.ops_considered += 1
+            decision = test.decide(op, vsi_of, dirty)
+            if decision is RedoDecision.SKIP_INSTALLED:
+                report.ops_skipped_installed += 1
+                self.stats.redo_skipped += 1
+                continue
+            if decision is RedoDecision.SKIP_UNEXPOSED:
+                report.ops_skipped_unexposed += 1
+                self.stats.redo_skipped += 1
+                continue
+            self._trial_execute(op, value_of, volatile, redone, report)
+        return volatile, redone
+
+    def _trial_execute(
+        self,
+        op: Operation,
+        value_of,
+        volatile: Dict[ObjectId, Tuple[Any, StateId]],
+        redone: List[Operation],
+        report: RecoveryReport,
+    ) -> None:
+        """Re-execute ``op`` with the Section 5 voiding rules.
+
+        Rule (b): an execution updating more than the original writeset
+        is detected and voided.  Rule (c): an execution raising against
+        inapplicable state is voided.  In neither case are changes made;
+        exposed objects are never damaged.
+        """
+        reads = {obj: value_of(obj) for obj in op.reads}
+        try:
+            writes = execute_transform(op, reads, self.registry)
+        except UnknownFunctionError:
+            # Not an inapplicable-state symptom but a deployment error:
+            # the registry lacks a transform the log names.  Voiding it
+            # would silently lose the operation's effects; fail loudly.
+            raise
+        except Exception:
+            report.ops_voided += 1
+            self.stats.redo_voided += 1
+            return
+        if set(writes) != set(op.writes):
+            report.ops_voided += 1
+            self.stats.redo_voided += 1
+            return
+        for obj, value in writes.items():
+            volatile[obj] = (value, op.lsi)
+        redone.append(op)
+        report.ops_redone += 1
+        self.stats.redo_executed += 1

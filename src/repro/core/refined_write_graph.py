@@ -1,0 +1,299 @@
+"""The refined write graph ``rW`` (Section 3, Figure 6).
+
+The fundamental insight of the paper: a subsequent update can make an
+object *unexposed* — no uninstalled operation needs to read the value an
+earlier operation wrote to it — and an unexposed object need not be
+flushed to install the operations that wrote it.  ``rW`` captures this:
+
+* unlike ``W``, ``vars(n)`` (the atomic flush set) can be a *strict
+  subset* of ``Writes(n)``; the difference ``Notx(n)`` holds the
+  not-exposed objects, which are installed without being flushed;
+* extra edges — write-write edges to the node of the blind writer, and
+  *inverse write-read* edges from readers of an unexposed object's last
+  value — ensure it is safe to skip flushing ``Notx(n)``.
+
+The construction is incremental (``add_operation`` is the paper's
+``addop_rW``).  Cycles can still arise (the paper's a/b/c application
+example); they are collapsed into single nodes exactly as in the
+construction of ``W``.
+
+Invariant maintained throughout: for every object X with at least one
+uninstalled writer, X belongs to ``vars`` of exactly one node — the node
+containing X's *last* uninstalled writer — or to no node's vars if every
+remaining writer holds it in ``Notx``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.graph_utils import strongly_connected_components
+from repro.core.operation import Operation
+
+
+class RWNode:
+    """A node of rW: operations, their flush set vars, and Notx."""
+
+    _ids = itertools.count()
+
+    def __init__(self) -> None:
+        self.node_id = next(RWNode._ids)
+        self.ops: Set[Operation] = set()
+        self.vars: Set[ObjectId] = set()
+
+    @property
+    def writes(self) -> Set[ObjectId]:
+        """``Writes(n)``: union of writesets of ops(n)."""
+        out: Set[ObjectId] = set()
+        for op in self.ops:
+            out |= op.writes
+        return out
+
+    @property
+    def reads(self) -> Set[ObjectId]:
+        """``Reads(n)``: union of readsets of ops(n)."""
+        out: Set[ObjectId] = set()
+        for op in self.ops:
+            out |= op.reads
+        return out
+
+    @property
+    def notx(self) -> Set[ObjectId]:
+        """``Notx(n) = Writes(n) − vars(n)``: installed without flushing."""
+        return self.writes - self.vars
+
+    def max_lsi(self) -> int:
+        """Largest log SI among the node's operations (WAL force bound)."""
+        return max(op.lsi for op in self.ops)
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(op.name for op in self.ops))
+        return (
+            f"<rWnode {self.node_id} ops=[{names}] vars={sorted(self.vars)} "
+            f"notx={sorted(self.notx)}>"
+        )
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class RefinedWriteGraph:
+    """Incrementally-maintained refined write graph."""
+
+    def __init__(self) -> None:
+        self.nodes: List[RWNode] = []
+        self._succ: Dict[RWNode, Set[RWNode]] = {}
+        self._pred: Dict[RWNode, Set[RWNode]] = {}
+        #: Node holding X's last uninstalled writer (the vars/Notx holder).
+        self._last_write_node: Dict[ObjectId, RWNode] = {}
+        #: Nodes containing an operation that read X's *current* value,
+        #: i.e. read X since its most recent write.  Feeds the inverse
+        #: write-read edges.
+        self._readers_since_write: Dict[ObjectId, Set[RWNode]] = {}
+        #: Count of node merges forced by cycle collapse (E8 metric).
+        self.cycle_collapses: int = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _new_node(self) -> RWNode:
+        node = RWNode()
+        self.nodes.append(node)
+        self._succ[node] = set()
+        self._pred[node] = set()
+        return node
+
+    def _add_edge(self, src: RWNode, dst: RWNode) -> None:
+        if src is dst:
+            return
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def _merge(self, group: List[RWNode]) -> RWNode:
+        """Merge ``group`` into a single node, rewriting edges and maps."""
+        if len(group) == 1:
+            return group[0]
+        target = group[0]
+        rest = group[1:]
+        members = set(group)
+        for node in rest:
+            target.ops |= node.ops
+            target.vars |= node.vars
+        # Re-point edges, dropping those internal to the merged set.
+        for node in rest:
+            for succ in self._succ.pop(node):
+                self._pred[succ].discard(node)
+                if succ not in members:
+                    self._add_edge(target, succ)
+            for pred in self._pred.pop(node):
+                self._succ[pred].discard(node)
+                if pred not in members:
+                    self._add_edge(pred, target)
+            self.nodes.remove(node)
+        # Rewrite bookkeeping references.
+        for obj, holder in list(self._last_write_node.items()):
+            if holder in members:
+                self._last_write_node[obj] = target
+        for readers in self._readers_since_write.values():
+            if readers & members:
+                readers.difference_update(members)
+                readers.add(target)
+        return target
+
+    def _collapse_cycles(self) -> None:
+        """Collapse every non-trivial SCC into one node (second collapse
+        of Figure 3, applied on demand after insertions)."""
+        sccs = strongly_connected_components(list(self.nodes), self._succ)
+        for scc in sccs:
+            if len(scc) > 1:
+                self.cycle_collapses += 1
+                self._merge(sorted(scc, key=lambda n: n.node_id))
+
+    # ------------------------------------------------------------------
+    # addop_rW (Figure 6)
+    # ------------------------------------------------------------------
+    def add_operation(self, op: Operation) -> RWNode:
+        """Insert ``op``, presented in conflict order, and return its node."""
+        exp = op.exp
+        notexp = op.notexp
+
+        # Merge nodes whose flush sets overlap op's exposed updates: op
+        # reads those values, so it must install atomically with (and
+        # its results flush with) the operations that produced them.
+        overlapping = [n for n in self.nodes if n.vars & exp]
+        if overlapping:
+            m = self._merge(sorted(overlapping, key=lambda n: n.node_id))
+        else:
+            m = self._new_node()
+        m.ops.add(op)
+        m.vars |= op.writes
+
+        # New read-write edges: any node that read an object op now
+        # overwrites must install first, else replaying its operations
+        # after a crash would see the wrong input.
+        for p in self.nodes:
+            if p is m:
+                continue
+            if p.reads & op.writes:
+                self._add_edge(p, m)
+
+        # Blind updates un-expose objects held in other nodes' flush
+        # sets: remove them there, record the write-write ordering, and
+        # protect the dropped values with inverse write-read edges.
+        if notexp:
+            for p in list(self.nodes):
+                if p is m:
+                    continue
+                dropped = p.vars & notexp
+                if not dropped:
+                    continue
+                p.vars -= dropped
+                # op is in must(op') for op' in ops(p): the blind write
+                # overwrites values p's operations wrote, so p installs
+                # first (write-write edge).
+                self._add_edge(p, m)
+                # Inverse write-read edges: any node q that read
+                # Lastw(p, X) must install before p so that when p is
+                # installed, X's unflushed value is no longer needed.
+                for obj in dropped:
+                    for q in self._readers_since_write.get(obj, ()):
+                        if q is not p:
+                            self._add_edge(q, p)
+
+        # Bookkeeping: op's reads happen against current values (before
+        # its writes replace them).
+        for obj in op.reads:
+            self._readers_since_write.setdefault(obj, set()).add(m)
+        for obj in op.writes:
+            self._last_write_node[obj] = m
+            self._readers_since_write[obj] = set()
+            if obj in op.reads:
+                # An exposed write reads the old value it replaces; the
+                # new value's readers start empty, but the node itself
+                # holds the writer so no self-constraint is needed.
+                pass
+
+        self._collapse_cycles()
+        # The merge/collapse steps may have replaced m; return the node
+        # that now holds op.
+        return self.node_of(op)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def minimal_nodes(self) -> List[RWNode]:
+        """Nodes with no predecessors — installable by flushing vars(n)."""
+        return [n for n in self.nodes if not self._pred[n]]
+
+    def remove_node(self, node: RWNode) -> Tuple[Set[ObjectId], Set[ObjectId]]:
+        """Remove an installed node; returns ``(vars, Notx)`` at removal.
+
+        The caller must only remove minimal nodes (checked), must have
+        flushed ``vars`` atomically, and should advance the rSIs of all
+        of ``Writes(n) = vars ∪ Notx``.
+        """
+        if self._pred[node]:
+            raise ValueError(f"{node!r} has uninstalled predecessors")
+        flushed, unexposed = set(node.vars), set(node.notx)
+        for succ in self._succ.pop(node):
+            self._pred[succ].discard(node)
+        del self._pred[node]
+        self.nodes.remove(node)
+        for obj, holder in list(self._last_write_node.items()):
+            if holder is node:
+                del self._last_write_node[obj]
+        for readers in self._readers_since_write.values():
+            readers.discard(node)
+        return flushed, unexposed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node_of(self, op: Operation) -> Optional[RWNode]:
+        """The node containing ``op``, or None if op was installed."""
+        for node in self.nodes:
+            if op in node.ops:
+                return node
+        return None
+
+    def holder_of(self, obj: ObjectId) -> Optional[RWNode]:
+        """The node with ``obj`` in vars or Notx via its last writer."""
+        return self._last_write_node.get(obj)
+
+    def successors(self, node: RWNode) -> Set[RWNode]:
+        """Nodes that must install after ``node``."""
+        return set(self._succ[node])
+
+    def predecessors(self, node: RWNode) -> Set[RWNode]:
+        """Nodes that must install before ``node``."""
+        return set(self._pred[node])
+
+    def edges(self) -> Iterable[Tuple[RWNode, RWNode]]:
+        """All flush-order edges."""
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield src, dst
+
+    def is_acyclic(self) -> bool:
+        """True when no non-trivial SCC exists (always, post-collapse)."""
+        sccs = strongly_connected_components(list(self.nodes), self._succ)
+        return all(len(scc) == 1 for scc in sccs)
+
+    def uninstalled_operations(self) -> Set[Operation]:
+        """All operations currently held by the graph."""
+        out: Set[Operation] = set()
+        for node in self.nodes:
+            out |= node.ops
+        return out
+
+    def flush_set_sizes(self) -> List[int]:
+        """|vars(n)| for every node — the E4 metric."""
+        return [len(n.vars) for n in self.nodes]
+
+    def __len__(self) -> int:
+        return len(self.nodes)

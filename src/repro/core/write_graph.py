@@ -1,0 +1,198 @@
+"""Write graph ``W`` of [8] (Figure 3 of the paper).
+
+The cache manager's central problem: installation-graph nodes are
+*operations* but the cache manager writes *objects*.  ``WriteGraph``
+translates the installation subgraph over the cached uninstalled
+operations into a graph whose nodes carry sets of objects that must be
+flushed atomically, with edges giving the required flush order.
+
+The Figure 3 construction, verbatim:
+
+1. ``T`` — the transitive closure of O ~ P iff
+   ``writeset(O) ∩ writeset(P) ≠ ∅`` (overlapping updates must install
+   atomically, so their operations share a node);
+2. ``V`` — the installation graph collapsed w.r.t. T's classes;
+3. ``S`` — the strongly connected components of V;
+4. ``W`` — V collapsed w.r.t. S, which makes W acyclic so that a flush
+   order exists.
+
+In W, ``vars(n) = Writes(n)``: every object written by a node's
+operations is in its atomic flush set, and |vars(n)| only grows until
+the node is flushed — the inflexibility the refined write graph fixes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.graph_utils import UnionFind, strongly_connected_components
+from repro.core.installation_graph import InstallationGraph
+from repro.core.operation import Operation
+
+
+class WriteGraphNode:
+    """A node of W: a set of operations and their atomic flush set."""
+
+    _ids = itertools.count()
+
+    def __init__(self, ops: Iterable[Operation]) -> None:
+        self.node_id = next(self._ids)
+        self.ops: Set[Operation] = set(ops)
+
+    @property
+    def vars(self) -> Set[ObjectId]:
+        """The atomic flush set; in W this is all of Writes(n)."""
+        return self.writes
+
+    @property
+    def notx(self) -> Set[ObjectId]:
+        """Always empty in W: every written object must be flushed."""
+        return set()
+
+    @property
+    def writes(self) -> Set[ObjectId]:
+        """``Writes(n)``: union of the writesets of ops(n)."""
+        out: Set[ObjectId] = set()
+        for op in self.ops:
+            out |= op.writes
+        return out
+
+    @property
+    def reads(self) -> Set[ObjectId]:
+        """``Reads(n)``: union of the readsets of ops(n)."""
+        out: Set[ObjectId] = set()
+        for op in self.ops:
+            out |= op.reads
+        return out
+
+    def max_lsi(self) -> int:
+        """The largest log SI among the node's operations (WAL bound)."""
+        return max(op.lsi for op in self.ops)
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(op.name for op in self.ops))
+        return f"<Wnode {self.node_id} ops=[{names}] vars={sorted(self.vars)}>"
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class WriteGraph:
+    """Acyclic write graph computed by the Figure 3 algorithm."""
+
+    def __init__(self, installation: InstallationGraph) -> None:
+        self.installation = installation
+        self.nodes: List[WriteGraphNode] = []
+        self._succ: Dict[WriteGraphNode, Set[WriteGraphNode]] = {}
+        self._pred: Dict[WriteGraphNode, Set[WriteGraphNode]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Figure 3
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        ops = self.installation.ops
+        if not ops:
+            return
+        # Step 1: T, the transitive closure of writeset overlap.
+        finder = UnionFind()
+        writers: Dict[ObjectId, Operation] = {}
+        for op in ops:
+            finder.add(op)
+            for obj in op.writes:
+                if obj in writers:
+                    finder.union(writers[obj], op)
+                else:
+                    writers[obj] = op
+        classes = finder.classes()
+
+        # Step 2: V, the installation graph collapsed w.r.t. T.
+        v_nodes = [frozenset(cls) for cls in classes]
+        membership: Dict[Operation, FrozenSet[Operation]] = {}
+        for cls in v_nodes:
+            for op in cls:
+                membership[op] = cls
+        v_succ: Dict[FrozenSet[Operation], Set[FrozenSet[Operation]]] = {
+            cls: set() for cls in v_nodes
+        }
+        for src, dst in self.installation.edges():
+            a, b = membership[src], membership[dst]
+            if a is not b:
+                v_succ[a].add(b)
+
+        # Steps 3-4: SCCs of V, collapsed to make W acyclic.
+        sccs = strongly_connected_components(v_nodes, v_succ)
+        scc_of: Dict[FrozenSet[Operation], int] = {}
+        for idx, scc in enumerate(sccs):
+            for cls in scc:
+                scc_of[cls] = idx
+        scc_nodes: Dict[int, WriteGraphNode] = {}
+        for idx, scc in enumerate(sccs):
+            merged: Set[Operation] = set()
+            for cls in scc:
+                merged |= cls
+            node = WriteGraphNode(merged)
+            scc_nodes[idx] = node
+            self.nodes.append(node)
+            self._succ[node] = set()
+            self._pred[node] = set()
+        for cls, dsts in v_succ.items():
+            for dst in dsts:
+                a, b = scc_nodes[scc_of[cls]], scc_nodes[scc_of[dst]]
+                if a is not b:
+                    self._succ[a].add(b)
+                    self._pred[b].add(a)
+
+    # ------------------------------------------------------------------
+    # queries and maintenance
+    # ------------------------------------------------------------------
+    def successors(self, node: WriteGraphNode) -> Set[WriteGraphNode]:
+        """Nodes that must be flushed after ``node``."""
+        return set(self._succ[node])
+
+    def predecessors(self, node: WriteGraphNode) -> Set[WriteGraphNode]:
+        """Nodes that must be flushed before ``node``."""
+        return set(self._pred[node])
+
+    def minimal_nodes(self) -> List[WriteGraphNode]:
+        """Nodes with no predecessors — the flushable ones."""
+        return [n for n in self.nodes if not self._pred[n]]
+
+    def node_of(self, op: Operation) -> Optional[WriteGraphNode]:
+        """The node whose ops contain ``op``, if any."""
+        for node in self.nodes:
+            if op in node.ops:
+                return node
+        return None
+
+    def remove_node(self, node: WriteGraphNode) -> None:
+        """Remove an installed node and all its edges.
+
+        Per the paper, removal of a minimal node never creates cycles.
+        """
+        for succ in self._succ.pop(node):
+            self._pred[succ].discard(node)
+        for pred in self._pred.pop(node):
+            self._succ[pred].discard(node)
+        self.nodes.remove(node)
+
+    def is_acyclic(self) -> bool:
+        """Sanity check used by tests: W must always be acyclic."""
+        sccs = strongly_connected_components(self.nodes, self._succ)
+        return all(len(scc) == 1 for scc in sccs) and not any(
+            node in self._succ[node] for node in self.nodes
+        )
+
+    def edges(self) -> Iterable[Tuple[WriteGraphNode, WriteGraphNode]]:
+        """All flush-order edges."""
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield src, dst
+
+    def __len__(self) -> int:
+        return len(self.nodes)

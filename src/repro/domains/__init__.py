@@ -1,0 +1,43 @@
+"""Recovery domains built on the core framework.
+
+The paper's Section 1 motivates logical logging with three domains
+beyond classic page-oriented databases; each is implemented here as a
+thin, fully-recoverable layer over :class:`~repro.kernel.RecoverableSystem`:
+
+* :mod:`~repro.domains.application` — application recovery: ``Ex``,
+  ``R``, ``W_L``/``W_P`` operations over application state objects,
+  with the three logging modes the paper compares (fully logical, the
+  ICDE-98 [7] scheme with physical writes, and fully physiological).
+* :mod:`~repro.domains.filesystem` — a recoverable file system where
+  whole files are objects and copy/sort are logical operations.
+* :mod:`~repro.domains.btree` — a B-tree whose page splits use logical
+  copy operations instead of logging new-page images.
+* :mod:`~repro.domains.kvstore` — a page-oriented record store using
+  only physiological operations: the classic-database baseline.
+"""
+
+from repro.domains.application import (
+    ApplicationRuntime,
+    AppLoggingMode,
+    APP_PROGRAMS,
+)
+from repro.domains.filesystem import RecoverableFileSystem, FsLoggingMode
+from repro.domains.btree import RecoverableBTree, SplitLoggingMode
+from repro.domains.kvstore import KVPageStore
+from repro.domains.indexed_store import IndexedKVStore, IndexLoggingMode
+from repro.domains.relational import RelationalStore, CtasLoggingMode
+
+__all__ = [
+    "IndexedKVStore",
+    "IndexLoggingMode",
+    "RelationalStore",
+    "CtasLoggingMode",
+    "ApplicationRuntime",
+    "AppLoggingMode",
+    "APP_PROGRAMS",
+    "RecoverableFileSystem",
+    "FsLoggingMode",
+    "RecoverableBTree",
+    "SplitLoggingMode",
+    "KVPageStore",
+]

@@ -1,0 +1,638 @@
+"""B-tree recovery with logical page splits (Section 1 "Database
+Recovery").
+
+The paper: "Operations of the form of operation B of Figure 1(a) can be
+used in B-tree splits, i.e., to copy half the contents of a full B-tree
+page to a new page. ... A logical split operation avoids the need to
+log the contents of the new B-tree node, which is required when using
+the simpler physiological operation."
+
+A split therefore decomposes into three logged operations:
+
+1. ``bt_split_copy`` — **logical**: reads the full page X, writes the
+   new page Y with X's upper half (no page image logged); the
+   physiological baseline replaces this with a physical write carrying
+   the whole new-page image;
+2. ``bt_split_trunc`` — physiological: X keeps its lower half;
+3. ``bt_parent_add`` — physiological: the separator key and the new
+   child pointer are inserted into the parent (only the small separator
+   is logged).
+
+Pages are recoverable objects valued as tuples:
+``("leaf", keys, values)`` or ``("internal", keys, children)``; the root
+pointer is a separate tiny object.  Inserts split full nodes on the way
+down (preemptive splitting), so a parent is never full when a child
+splits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.functions import FunctionRegistry
+from repro.core.operation import Operation, OpKind, delete_object
+from repro.kernel.system import RecoverableSystem
+
+#: Page values: ("leaf", keys, values) or ("internal", keys, children).
+Page = Tuple[str, Tuple[Any, ...], Tuple[Any, ...]]
+
+
+class SplitLoggingMode(enum.Enum):
+    """How the new page produced by a split is logged."""
+
+    LOGICAL = "logical"
+    PHYSIOLOGICAL = "physiological"
+
+
+# ----------------------------------------------------------------------
+# registered transforms
+# ----------------------------------------------------------------------
+def _bt_insert(
+    reads: Mapping[ObjectId, Any], leaf: ObjectId, key: Any, value: Any
+) -> Dict[ObjectId, Any]:
+    """Insert (or replace) one record in a leaf page."""
+    kind, keys, values = reads[leaf]
+    if kind != "leaf":
+        raise ValueError(f"bt_insert into non-leaf page {leaf!r}")
+    keys_list, values_list = list(keys), list(values)
+    pos = bisect.bisect_left(keys_list, key)
+    if pos < len(keys_list) and keys_list[pos] == key:
+        values_list[pos] = value
+    else:
+        keys_list.insert(pos, key)
+        values_list.insert(pos, value)
+    return {leaf: ("leaf", tuple(keys_list), tuple(values_list))}
+
+
+def _split_point(page: Page) -> int:
+    return len(page[1]) // 2
+
+
+def upper_half(page: Page) -> Page:
+    """The new page a split produces (pure helper, also used by the
+    physiological baseline to compute the logged image)."""
+    kind, keys, payload = page
+    mid = _split_point(page)
+    if kind == "leaf":
+        return ("leaf", keys[mid:], payload[mid:])
+    return ("internal", keys[mid + 1 :], payload[mid + 1 :])
+
+
+def lower_half(page: Page) -> Page:
+    """What remains of the split page."""
+    kind, keys, payload = page
+    mid = _split_point(page)
+    if kind == "leaf":
+        return ("leaf", keys[:mid], payload[:mid])
+    return ("internal", keys[:mid], payload[: mid + 1])
+
+
+def separator_key(page: Page) -> Any:
+    """The key promoted to the parent by splitting ``page``."""
+    return page[1][_split_point(page)]
+
+
+def _bt_split_copy(
+    reads: Mapping[ObjectId, Any], src: ObjectId, dst: ObjectId
+) -> Dict[ObjectId, Any]:
+    """Logical split copy: dst <- upper half of src (reads src only)."""
+    return {dst: upper_half(reads[src])}
+
+
+def _bt_split_trunc(
+    reads: Mapping[ObjectId, Any], obj: ObjectId
+) -> Dict[ObjectId, Any]:
+    """Physiological truncation: src keeps its lower half."""
+    return {obj: lower_half(reads[obj])}
+
+
+def _bt_parent_add(
+    reads: Mapping[ObjectId, Any],
+    parent: ObjectId,
+    sep: Any,
+    child: ObjectId,
+) -> Dict[ObjectId, Any]:
+    """Insert a separator key and new-child pointer into an internal page."""
+    kind, keys, children = reads[parent]
+    if kind != "internal":
+        raise ValueError(f"bt_parent_add into non-internal page {parent!r}")
+    keys_list, children_list = list(keys), list(children)
+    pos = bisect.bisect_left(keys_list, sep)
+    keys_list.insert(pos, sep)
+    children_list.insert(pos + 1, child)
+    return {parent: ("internal", tuple(keys_list), tuple(children_list))}
+
+
+def _bt_delete(
+    reads: Mapping[ObjectId, Any], leaf: ObjectId, key: Any
+) -> Dict[ObjectId, Any]:
+    """Remove one record from a leaf (no-op when absent)."""
+    kind, keys, values = reads[leaf]
+    if kind != "leaf":
+        raise ValueError(f"bt_delete from non-leaf page {leaf!r}")
+    keys_list, values_list = list(keys), list(values)
+    pos = bisect.bisect_left(keys_list, key)
+    if pos < len(keys_list) and keys_list[pos] == key:
+        del keys_list[pos]
+        del values_list[pos]
+    return {leaf: ("leaf", tuple(keys_list), tuple(values_list))}
+
+
+def _bt_merge(
+    reads: Mapping[ObjectId, Any],
+    dst: ObjectId,
+    src: ObjectId,
+    sep: Any,
+) -> Dict[ObjectId, Any]:
+    """Merge right sibling ``src`` into left page ``dst``.
+
+    Logical, the operation-B shape again: the sibling's contents are
+    *read* from the recoverable page, never logged.  For internal pages
+    the parent's separator is pulled down between the key runs.
+    """
+    dkind, dkeys, dpayload = reads[dst]
+    skind, skeys, spayload = reads[src]
+    if dkind != skind:
+        raise ValueError("cannot merge pages of different kinds")
+    if dkind == "leaf":
+        return {dst: ("leaf", dkeys + skeys, dpayload + spayload)}
+    return {dst: ("internal", dkeys + (sep,) + skeys, dpayload + spayload)}
+
+
+def _bt_parent_remove(
+    reads: Mapping[ObjectId, Any], parent: ObjectId, index: int
+) -> Dict[ObjectId, Any]:
+    """Drop separator ``index`` and the child right of it (post-merge)."""
+    kind, keys, children = reads[parent]
+    if kind != "internal":
+        raise ValueError(f"bt_parent_remove on non-internal {parent!r}")
+    keys_list, children_list = list(keys), list(children)
+    del keys_list[index]
+    del children_list[index + 1]
+    return {parent: ("internal", tuple(keys_list), tuple(children_list))}
+
+
+def _bt_borrow(
+    reads: Mapping[ObjectId, Any],
+    parent: ObjectId,
+    child: ObjectId,
+    sibling: ObjectId,
+    child_index: int,
+    from_left: bool,
+) -> Dict[ObjectId, Any]:
+    """Rotate one entry from a sibling through the parent.
+
+    A single logical operation reading and writing three pages: its
+    whole writeset is exposed (everything it writes it also read), so
+    the three pages end up in one write-graph node and install
+    atomically — a realistic stress for the flush machinery.
+    """
+    pkind, pkeys, pchildren = reads[parent]
+    ckind, ckeys, cpayload = reads[child]
+    skind, skeys, spayload = reads[sibling]
+    keys_list, children_list = list(pkeys), list(pchildren)
+    sep_index = child_index - 1 if from_left else child_index
+    if ckind == "leaf":
+        if from_left:
+            moved_key, moved_val = skeys[-1], spayload[-1]
+            new_child = ("leaf", (moved_key,) + ckeys, (moved_val,) + cpayload)
+            new_sib = ("leaf", skeys[:-1], spayload[:-1])
+            keys_list[sep_index] = moved_key
+        else:
+            moved_key, moved_val = skeys[0], spayload[0]
+            new_child = ("leaf", ckeys + (moved_key,), cpayload + (moved_val,))
+            new_sib = ("leaf", skeys[1:], spayload[1:])
+            keys_list[sep_index] = new_sib[1][0]
+    else:
+        sep = pkeys[sep_index]
+        if from_left:
+            new_child = (
+                "internal", (sep,) + ckeys, (spayload[-1],) + cpayload
+            )
+            new_sib = ("internal", skeys[:-1], spayload[:-1])
+            keys_list[sep_index] = skeys[-1]
+        else:
+            new_child = (
+                "internal", ckeys + (sep,), cpayload + (spayload[0],)
+            )
+            new_sib = ("internal", skeys[1:], spayload[1:])
+            keys_list[sep_index] = skeys[0]
+    new_parent = ("internal", tuple(keys_list), tuple(children_list))
+    return {parent: new_parent, child: new_child, sibling: new_sib}
+
+
+def register_btree_functions(registry: FunctionRegistry) -> None:
+    """Register the B-tree transforms (idempotent)."""
+    for name, fn in (
+        ("bt_insert", _bt_insert),
+        ("bt_split_copy", _bt_split_copy),
+        ("bt_split_trunc", _bt_split_trunc),
+        ("bt_parent_add", _bt_parent_add),
+        ("bt_delete", _bt_delete),
+        ("bt_merge", _bt_merge),
+        ("bt_parent_remove", _bt_parent_remove),
+        ("bt_borrow", _bt_borrow),
+    ):
+        if not registry.registered(name):
+            registry.register(name, fn)
+
+
+# ----------------------------------------------------------------------
+# the tree
+# ----------------------------------------------------------------------
+class RecoverableBTree:
+    """A B-tree whose pages are recoverable objects."""
+
+    def __init__(
+        self,
+        system: RecoverableSystem,
+        name: str = "t",
+        capacity: int = 4,
+        mode: SplitLoggingMode = SplitLoggingMode.LOGICAL,
+    ) -> None:
+        if capacity < 3:
+            raise ValueError("capacity must be at least 3")
+        self.system = system
+        self.name = name
+        self.capacity = capacity
+        self.mode = mode
+        register_btree_functions(system.registry)
+        self._next_page = 0
+        if self.system.read(self.root_ptr_obj) is None:
+            self._create_empty()
+        else:
+            self.attach()
+
+    # -- naming ----------------------------------------------------------
+    @property
+    def root_ptr_obj(self) -> ObjectId:
+        return f"bt:{self.name}:root"
+
+    def _page_obj(self, number: int) -> ObjectId:
+        return f"bt:{self.name}:p{number}"
+
+    def _alloc(self) -> ObjectId:
+        obj = self._page_obj(self._next_page)
+        self._next_page += 1
+        return obj
+
+    # -- bootstrap ---------------------------------------------------------
+    def _create_empty(self) -> None:
+        first = self._alloc()
+        self.system.execute(
+            Operation(
+                f"btinit({first})",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={first},
+                payload={first: ("leaf", (), ())},
+            )
+        )
+        self.system.execute(
+            Operation(
+                f"btroot={first}",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={self.root_ptr_obj},
+                payload={self.root_ptr_obj: first},
+            )
+        )
+
+    def attach(self) -> None:
+        """Re-derive the page allocator after recovery by walking the
+        tree; page numbers are embedded in object ids."""
+        highest = -1
+        for obj in self._walk_page_ids():
+            number = int(obj.rsplit(":p", 1)[1])
+            highest = max(highest, number)
+        self._next_page = highest + 1
+
+    def _walk_page_ids(self) -> Iterator[ObjectId]:
+        root = self.system.read(self.root_ptr_obj)
+        if root is None:
+            return
+        stack = [root]
+        while stack:
+            obj = stack.pop()
+            yield obj
+            page = self.system.read(obj)
+            if page is not None and page[0] == "internal":
+                stack.extend(page[2])
+
+    # -- reads --------------------------------------------------------------
+    def _page(self, obj: ObjectId) -> Page:
+        page = self.system.read(obj)
+        if page is None:
+            raise KeyError(f"missing B-tree page {obj!r}")
+        return page
+
+    def lookup(self, key: Any) -> Optional[Any]:
+        """The value stored under ``key``, or None."""
+        obj = self.system.read(self.root_ptr_obj)
+        while True:
+            kind, keys, payload = self._page(obj)
+            if kind == "leaf":
+                pos = bisect.bisect_left(keys, key)
+                if pos < len(keys) and keys[pos] == key:
+                    return payload[pos]
+                return None
+            pos = bisect.bisect_right(keys, key)
+            obj = payload[pos]
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        out: List[Tuple[Any, Any]] = []
+        self._collect(self.system.read(self.root_ptr_obj), out)
+        return out
+
+    def _collect(self, obj: ObjectId, out: List[Tuple[Any, Any]]) -> None:
+        kind, keys, payload = self._page(obj)
+        if kind == "leaf":
+            out.extend(zip(keys, payload))
+            return
+        for child in payload:
+            self._collect(child, out)
+
+    # -- inserts ---------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or update one record, splitting full pages on the way
+        down so splits never propagate upward."""
+        root_obj = self.system.read(self.root_ptr_obj)
+        if len(self._page(root_obj)[1]) >= self.capacity:
+            root_obj = self._split_root(root_obj)
+        node = root_obj
+        while True:
+            kind, keys, payload = self._page(node)
+            if kind == "leaf":
+                self.system.execute(
+                    Operation(
+                        f"btins({key})",
+                        OpKind.PHYSIOLOGICAL,
+                        reads={node},
+                        writes={node},
+                        fn="bt_insert",
+                        params=(node, key, value),
+                    )
+                )
+                return
+            pos = bisect.bisect_right(keys, key)
+            child = payload[pos]
+            if len(self._page(child)[1]) >= self.capacity:
+                self._split_child(node, child)
+                # Re-read: the separator may route the key differently.
+                kind, keys, payload = self._page(node)
+                pos = bisect.bisect_right(keys, key)
+                child = payload[pos]
+            node = child
+
+    # -- deletes ---------------------------------------------------------
+    @property
+    def min_keys(self) -> int:
+        """Minimum occupancy of a non-root page.
+
+        Chosen so a merge of two minimal pages (plus, for internal
+        pages, the pulled-down separator) always fits:
+        ``2*min + 1 <= capacity``.
+        """
+        return (self.capacity - 1) // 2
+
+    def delete(self, key: Any) -> None:
+        """Delete one record, rebalancing full pages on the way down.
+
+        Descent maintains the invariant that the current node has more
+        than ``min_keys`` keys (or is the root), so removing a key at
+        the leaf can never underflow retroactively.  Underfull children
+        are fixed before descending: borrow from a sibling with spare
+        keys (one logical three-page rotation), else merge with a
+        sibling (a logical operation-B copy plus a physiological parent
+        update plus a page delete).
+        """
+        node = self.system.read(self.root_ptr_obj)
+        while True:
+            kind, keys, payload = self._page(node)
+            if kind == "leaf":
+                self.system.execute(
+                    Operation(
+                        f"btdel({key})",
+                        OpKind.PHYSIOLOGICAL,
+                        reads={node},
+                        writes={node},
+                        fn="bt_delete",
+                        params=(node, key),
+                    )
+                )
+                return
+            pos = bisect.bisect_right(keys, key)
+            child = payload[pos]
+            if len(self._page(child)[1]) <= self.min_keys:
+                self._fix_child(node, pos)
+                # Re-evaluate from the (possibly collapsed) node: a
+                # merge can re-route the key to a different child that
+                # itself needs fixing before we descend.
+                node = self._maybe_collapse_root(node)
+                continue
+            node = child
+
+    def _fix_child(self, parent: ObjectId, index: int) -> None:
+        """Bring child ``index`` above minimum occupancy."""
+        _kind, keys, children = self._page(parent)
+        child = children[index]
+        left = children[index - 1] if index > 0 else None
+        right = children[index + 1] if index < len(children) - 1 else None
+        if left is not None and len(self._page(left)[1]) > self.min_keys:
+            self._borrow(parent, child, left, index, from_left=True)
+            return
+        if right is not None and len(self._page(right)[1]) > self.min_keys:
+            self._borrow(parent, child, right, index, from_left=False)
+            return
+        if left is not None:
+            self._merge_children(parent, index - 1)
+        else:
+            self._merge_children(parent, index)
+
+    def _borrow(
+        self,
+        parent: ObjectId,
+        child: ObjectId,
+        sibling: ObjectId,
+        child_index: int,
+        from_left: bool,
+    ) -> None:
+        self.system.execute(
+            Operation(
+                f"btborrow({child}<-{sibling})",
+                OpKind.LOGICAL,
+                reads={parent, child, sibling},
+                writes={parent, child, sibling},
+                fn="bt_borrow",
+                params=(parent, child, sibling, child_index, from_left),
+            )
+        )
+
+    def _merge_children(self, parent: ObjectId, left_index: int) -> None:
+        """Merge child ``left_index+1`` into child ``left_index``."""
+        _kind, keys, children = self._page(parent)
+        dst, src = children[left_index], children[left_index + 1]
+        sep = keys[left_index]
+        self.system.execute(
+            Operation(
+                f"btmerge({src}->{dst})",
+                OpKind.LOGICAL,
+                reads={dst, src},
+                writes={dst},
+                fn="bt_merge",
+                params=(dst, src, sep),
+            )
+        )
+        self.system.execute(
+            Operation(
+                f"btparentrm({parent},{left_index})",
+                OpKind.PHYSIOLOGICAL,
+                reads={parent},
+                writes={parent},
+                fn="bt_parent_remove",
+                params=(parent, left_index),
+            )
+        )
+        self.system.execute(delete_object(src))
+
+    def _maybe_collapse_root(self, node: ObjectId) -> ObjectId:
+        """If the root lost its last separator, hoist its only child."""
+        root = self.system.read(self.root_ptr_obj)
+        if node != root:
+            return node
+        kind, keys, payload = self._page(root)
+        if kind != "internal" or keys:
+            return root
+        only_child = payload[0]
+        self.system.execute(
+            Operation(
+                f"btroot={only_child}",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={self.root_ptr_obj},
+                payload={self.root_ptr_obj: only_child},
+            )
+        )
+        self.system.execute(delete_object(root))
+        return only_child
+
+    # -- splits ----------------------------------------------------------
+    def _emit_split_copy(self, src: ObjectId, dst: ObjectId) -> None:
+        """The mode-dependent half of a split: how the new page is logged."""
+        if self.mode is SplitLoggingMode.LOGICAL:
+            op = Operation(
+                f"btsplitcopy({src}->{dst})",
+                OpKind.LOGICAL,
+                reads={src},
+                writes={dst},
+                fn="bt_split_copy",
+                params=(src, dst),
+            )
+        else:
+            image = upper_half(self._page(src))
+            op = Operation(
+                f"btsplitcopy_P({dst})",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={dst},
+                payload={dst: image},
+            )
+        self.system.execute(op)
+
+    def _split_child(self, parent: ObjectId, child: ObjectId) -> None:
+        sep = separator_key(self._page(child))
+        new_page = self._alloc()
+        self._emit_split_copy(child, new_page)
+        self.system.execute(
+            Operation(
+                f"btsplittrunc({child})",
+                OpKind.PHYSIOLOGICAL,
+                reads={child},
+                writes={child},
+                fn="bt_split_trunc",
+                params=(child,),
+            )
+        )
+        self.system.execute(
+            Operation(
+                f"btparentadd({parent},{sep})",
+                OpKind.PHYSIOLOGICAL,
+                reads={parent},
+                writes={parent},
+                fn="bt_parent_add",
+                params=(parent, sep, new_page),
+            )
+        )
+
+    def _split_root(self, root_obj: ObjectId) -> ObjectId:
+        """Split a full root: hoist a new internal root above it."""
+        sep = separator_key(self._page(root_obj))
+        sibling = self._alloc()
+        new_root = self._alloc()
+        self._emit_split_copy(root_obj, sibling)
+        self.system.execute(
+            Operation(
+                f"btsplittrunc({root_obj})",
+                OpKind.PHYSIOLOGICAL,
+                reads={root_obj},
+                writes={root_obj},
+                fn="bt_split_trunc",
+                params=(root_obj,),
+            )
+        )
+        self.system.execute(
+            Operation(
+                f"btnewroot({new_root})",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={new_root},
+                payload={new_root: ("internal", (sep,), (root_obj, sibling))},
+            )
+        )
+        self.system.execute(
+            Operation(
+                f"btroot={new_root}",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={self.root_ptr_obj},
+                payload={self.root_ptr_obj: new_root},
+            )
+        )
+        return new_root
+
+    # -- integrity ---------------------------------------------------------
+    def check_structure(self) -> int:
+        """Validate ordering/fanout/occupancy invariants; returns the
+        key count."""
+        root = self.system.read(self.root_ptr_obj)
+        count, _lo, _hi, _depth = self._check_node(root, None, None)
+        return count
+
+    def _check_node(self, obj, lo, hi, depth: int = 0):
+        kind, keys, payload = self._page(obj)
+        assert list(keys) == sorted(keys), f"unsorted keys in {obj}"
+        for key in keys:
+            assert lo is None or key >= lo, f"key {key} below bound in {obj}"
+            assert hi is None or key < hi, f"key {key} above bound in {obj}"
+        assert len(keys) <= self.capacity, f"overfull page {obj}"
+        if depth > 0:
+            assert len(keys) >= self.min_keys, f"underfull page {obj}"
+        if kind == "leaf":
+            assert len(keys) == len(payload)
+            return len(keys), lo, hi, depth
+        assert len(payload) == len(keys) + 1, f"bad fanout in {obj}"
+        total = 0
+        depths = set()
+        bounds = [lo, *keys, hi]
+        for index, child in enumerate(payload):
+            child_count, _l, _h, child_depth = self._check_node(
+                child, bounds[index], bounds[index + 1], depth + 1
+            )
+            total += child_count
+            depths.add(child_depth)
+        assert len(depths) == 1, f"uneven leaf depth below {obj}"
+        return total, lo, hi, depths.pop()

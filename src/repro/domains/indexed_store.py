@@ -1,0 +1,300 @@
+"""A record store with a secondary index maintained by logical
+operations.
+
+A realistic database use of the paper's generality beyond B-tree
+splits: when a record changes, its secondary-index entries must change
+too.  The index update is *derivable from recoverable state* — the base
+page holds the record — so a logical operation of the Figure 1 form
+(reads the base page and the index page, writes the index page) keeps
+the index without logging record values a second time:
+
+* ``idx_remove``: before the base update, reads the base page (the
+  record's *old* value) and removes ``old-value -> key`` from the old
+  value's index page;
+* the base update itself (physiological, the record is logged once —
+  it enters from outside);
+* ``idx_add``: after the base update, reads the base page (the *new*
+  value) and adds ``new-value -> key`` to the new value's index page.
+
+With ``IndexLoggingMode.PHYSIOLOGICAL`` the index operations carry the
+value in their log records instead — the classic scheme — which the E2
+bench quantifies.
+
+Which index page an operation touches depends on the value's hash; the
+executor discovers that at run time and records the page id in the
+operation's readset/writeset, so replay is fully determined.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.functions import FunctionRegistry
+from repro.core.operation import Operation, OpKind
+from repro.kernel.system import RecoverableSystem
+
+
+class IndexLoggingMode(enum.Enum):
+    """How index maintenance is logged."""
+
+    LOGICAL = "logical"
+    PHYSIOLOGICAL = "physiological"
+
+
+def _records_of(page_value: Any) -> Dict[Any, Any]:
+    return dict(page_value or ())
+
+
+def _pack(records: Dict[Any, Any]) -> Tuple[Tuple[Any, Any], ...]:
+    return tuple(sorted(records.items()))
+
+
+# ----------------------------------------------------------------------
+# registered transforms
+# ----------------------------------------------------------------------
+def _ikv_base_put(
+    reads: Mapping[ObjectId, Any], page: ObjectId, key: Any, value: Any
+) -> Dict[ObjectId, Any]:
+    records = _records_of(reads[page])
+    records[key] = value
+    return {page: _pack(records)}
+
+
+def _ikv_base_remove(
+    reads: Mapping[ObjectId, Any], page: ObjectId, key: Any
+) -> Dict[ObjectId, Any]:
+    records = _records_of(reads[page])
+    records.pop(key, None)
+    return {page: _pack(records)}
+
+
+def _ikv_idx_add(
+    reads: Mapping[ObjectId, Any],
+    idx_page: ObjectId,
+    base_page: ObjectId,
+    key: Any,
+) -> Dict[ObjectId, Any]:
+    """Add ``value(key) -> key`` to the index, reading the value from
+    the base page (logical: nothing but ids and the key logged)."""
+    base = _records_of(reads[base_page])
+    if key not in base:
+        raise ValueError(f"idx_add: {key!r} not on base page {base_page!r}")
+    value = base[key]
+    index = _records_of(reads[idx_page])
+    keys = set(index.get(value, ()))
+    keys.add(key)
+    index[value] = tuple(sorted(keys))
+    return {idx_page: _pack(index)}
+
+
+def _ikv_idx_remove(
+    reads: Mapping[ObjectId, Any],
+    idx_page: ObjectId,
+    base_page: ObjectId,
+    key: Any,
+) -> Dict[ObjectId, Any]:
+    """Remove ``value(key) -> key``, reading the (old) value from the
+    base page — this runs *before* the base update."""
+    base = _records_of(reads[base_page])
+    index = _records_of(reads[idx_page])
+    value = base.get(key)
+    if value is not None and value in index:
+        keys = tuple(k for k in index[value] if k != key)
+        if keys:
+            index[value] = keys
+        else:
+            del index[value]
+    return {idx_page: _pack(index)}
+
+
+def _ikv_idx_add_logged(
+    reads: Mapping[ObjectId, Any], idx_page: ObjectId, key: Any, value: Any
+) -> Dict[ObjectId, Any]:
+    """Physiological baseline: the value travels in the log record."""
+    index = _records_of(reads[idx_page])
+    keys = set(index.get(value, ()))
+    keys.add(key)
+    index[value] = tuple(sorted(keys))
+    return {idx_page: _pack(index)}
+
+
+def _ikv_idx_remove_logged(
+    reads: Mapping[ObjectId, Any], idx_page: ObjectId, key: Any, value: Any
+) -> Dict[ObjectId, Any]:
+    index = _records_of(reads[idx_page])
+    if value in index:
+        keys = tuple(k for k in index[value] if k != key)
+        if keys:
+            index[value] = keys
+        else:
+            del index[value]
+    return {idx_page: _pack(index)}
+
+
+def register_indexed_store_functions(registry: FunctionRegistry) -> None:
+    """Register the indexed-store transforms (idempotent)."""
+    for name, fn in (
+        ("ikv_base_put", _ikv_base_put),
+        ("ikv_base_remove", _ikv_base_remove),
+        ("ikv_idx_add", _ikv_idx_add),
+        ("ikv_idx_remove", _ikv_idx_remove),
+        ("ikv_idx_add_logged", _ikv_idx_add_logged),
+        ("ikv_idx_remove_logged", _ikv_idx_remove_logged),
+    ):
+        if not registry.registered(name):
+            registry.register(name, fn)
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class IndexedKVStore:
+    """Hash-partitioned records with a value -> keys secondary index."""
+
+    def __init__(
+        self,
+        system: RecoverableSystem,
+        name: str = "ikv",
+        base_pages: int = 8,
+        index_pages: int = 8,
+        mode: IndexLoggingMode = IndexLoggingMode.LOGICAL,
+    ) -> None:
+        self.system = system
+        self.name = name
+        self.base_pages = base_pages
+        self.index_pages = index_pages
+        self.mode = mode
+        register_indexed_store_functions(system.registry)
+
+    # -- partitioning ------------------------------------------------------
+    def base_page_of(self, key: Any) -> ObjectId:
+        digest = zlib.crc32(repr(key).encode("utf-8"))
+        return f"ikv:{self.name}:base:p{digest % self.base_pages}"
+
+    def index_page_of(self, value: Any) -> ObjectId:
+        digest = zlib.crc32(repr(value).encode("utf-8"))
+        return f"ikv:{self.name}:idx:p{digest % self.index_pages}"
+
+    # -- mutations --------------------------------------------------------
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or update a record, maintaining the index."""
+        base = self.base_page_of(key)
+        old_value = self.get(key)
+        if old_value is not None:
+            self._idx_remove(key, old_value)
+        self.system.execute(
+            Operation(
+                f"ikvput({key})",
+                OpKind.PHYSIOLOGICAL,
+                reads={base},
+                writes={base},
+                fn="ikv_base_put",
+                params=(base, key, value),
+            )
+        )
+        self._idx_add(key, value)
+
+    def remove(self, key: Any) -> None:
+        """Remove a record and its index entry."""
+        old_value = self.get(key)
+        if old_value is None:
+            return
+        self._idx_remove(key, old_value)
+        base = self.base_page_of(key)
+        self.system.execute(
+            Operation(
+                f"ikvdel({key})",
+                OpKind.PHYSIOLOGICAL,
+                reads={base},
+                writes={base},
+                fn="ikv_base_remove",
+                params=(base, key),
+            )
+        )
+
+    def _idx_add(self, key: Any, value: Any) -> None:
+        idx = self.index_page_of(value)
+        base = self.base_page_of(key)
+        if self.mode is IndexLoggingMode.LOGICAL:
+            op = Operation(
+                f"idxadd({key})",
+                OpKind.LOGICAL,
+                reads={idx, base},
+                writes={idx},
+                fn="ikv_idx_add",
+                params=(idx, base, key),
+            )
+        else:
+            op = Operation(
+                f"idxadd_P({key})",
+                OpKind.PHYSIOLOGICAL,
+                reads={idx},
+                writes={idx},
+                fn="ikv_idx_add_logged",
+                params=(idx, key, value),
+            )
+        self.system.execute(op)
+
+    def _idx_remove(self, key: Any, old_value: Any) -> None:
+        idx = self.index_page_of(old_value)
+        base = self.base_page_of(key)
+        if self.mode is IndexLoggingMode.LOGICAL:
+            op = Operation(
+                f"idxrm({key})",
+                OpKind.LOGICAL,
+                reads={idx, base},
+                writes={idx},
+                fn="ikv_idx_remove",
+                params=(idx, base, key),
+            )
+        else:
+            op = Operation(
+                f"idxrm_P({key})",
+                OpKind.PHYSIOLOGICAL,
+                reads={idx},
+                writes={idx},
+                fn="ikv_idx_remove_logged",
+                params=(idx, key, old_value),
+            )
+        self.system.execute(op)
+
+    # -- queries ----------------------------------------------------------
+    def get(self, key: Any) -> Optional[Any]:
+        """Current value of ``key`` from the base pages."""
+        records = _records_of(self.system.read(self.base_page_of(key)))
+        return records.get(key)
+
+    def find_by_value(self, value: Any) -> List[Any]:
+        """Keys whose record equals ``value``, via the secondary index."""
+        index = _records_of(self.system.read(self.index_page_of(value)))
+        return list(index.get(value, ()))
+
+    def keys(self) -> List[Any]:
+        """All keys (base-page scan)."""
+        out: List[Any] = []
+        for number in range(self.base_pages):
+            page = self.system.read(f"ikv:{self.name}:base:p{number}")
+            out.extend(key for key, _value in (page or ()))
+        return sorted(out)
+
+    # -- integrity ----------------------------------------------------------
+    def check_index_consistency(self) -> int:
+        """Verify the index exactly mirrors the base; returns the
+        number of indexed entries."""
+        expected: Dict[Any, set] = {}
+        for number in range(self.base_pages):
+            page = self.system.read(f"ikv:{self.name}:base:p{number}")
+            for key, value in page or ():
+                expected.setdefault(value, set()).add(key)
+        actual: Dict[Any, set] = {}
+        for number in range(self.index_pages):
+            page = self.system.read(f"ikv:{self.name}:idx:p{number}")
+            for value, keys in page or ():
+                actual.setdefault(value, set()).update(keys)
+        assert actual == expected, (
+            f"index diverged: extra={ {k: v for k, v in actual.items() if expected.get(k) != v} }"
+        )
+        return sum(len(keys) for keys in expected.values())

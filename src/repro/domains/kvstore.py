@@ -1,0 +1,122 @@
+"""A page-oriented key-value store using only physiological operations.
+
+This is the "classic database" baseline domain: records live on pages
+(hash-partitioned by key), and every update is a physiological
+operation on a single page — exactly the degenerate write-graph case
+the paper describes ("each node of which is associated with the
+operations that write to a single object, and with no edges between
+nodes and hence with no restrictions on flush order").
+
+Used by the E6 recovery benchmarks as a familiar workload and by tests
+as a sanity baseline: with this domain, W and rW coincide and every
+flush set is a singleton.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.functions import FunctionRegistry
+from repro.core.operation import Operation, OpKind
+from repro.kernel.system import RecoverableSystem
+
+#: A page maps key -> value bytes.
+PageValue = Tuple[Tuple[Any, Any], ...]
+
+
+def _kv_put(
+    reads: Mapping[ObjectId, Any], page: ObjectId, key: Any, value: Any
+) -> Dict[ObjectId, Any]:
+    """Insert or replace one record on a page."""
+    records = dict(reads[page] or ())
+    records[key] = value
+    return {page: tuple(sorted(records.items()))}
+
+
+def _kv_remove(
+    reads: Mapping[ObjectId, Any], page: ObjectId, key: Any
+) -> Dict[ObjectId, Any]:
+    """Remove one record from a page (no-op if absent)."""
+    records = dict(reads[page] or ())
+    records.pop(key, None)
+    return {page: tuple(sorted(records.items()))}
+
+
+def register_kv_functions(registry: FunctionRegistry) -> None:
+    """Register the KV transforms (idempotent)."""
+    for name, fn in (("kv_put", _kv_put), ("kv_remove", _kv_remove)):
+        if not registry.registered(name):
+            registry.register(name, fn)
+
+
+class KVPageStore:
+    """Hash-partitioned record store over ``pages`` recoverable pages."""
+
+    def __init__(
+        self,
+        system: RecoverableSystem,
+        name: str = "kv",
+        pages: int = 16,
+    ) -> None:
+        if pages < 1:
+            raise ValueError("need at least one page")
+        self.system = system
+        self.name = name
+        self.pages = pages
+        register_kv_functions(system.registry)
+
+    def page_of(self, key: Any) -> ObjectId:
+        """The page object holding ``key``.
+
+        Uses a process-independent hash (CRC32 of the key's repr) so
+        that workloads, logs and recovery agree across runs — Python's
+        built-in ``hash`` is randomized for strings.
+        """
+        digest = zlib.crc32(repr(key).encode("utf-8"))
+        return f"kv:{self.name}:p{digest % self.pages}"
+
+    def put(self, key: Any, value: Any) -> Operation:
+        """Insert or replace a record (physiological, logs key+value)."""
+        page = self.page_of(key)
+        op = Operation(
+            f"kvput({key})",
+            OpKind.PHYSIOLOGICAL,
+            reads={page},
+            writes={page},
+            fn="kv_put",
+            params=(page, key, value),
+        )
+        self.system.execute(op)
+        return op
+
+    def remove(self, key: Any) -> Operation:
+        """Remove a record (physiological, logs the key only)."""
+        page = self.page_of(key)
+        op = Operation(
+            f"kvdel({key})",
+            OpKind.PHYSIOLOGICAL,
+            reads={page},
+            writes={page},
+            fn="kv_remove",
+            params=(page, key),
+        )
+        self.system.execute(op)
+        return op
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Current value of ``key``, or None."""
+        records = self.system.read(self.page_of(key))
+        if records is None:
+            return None
+        return dict(records).get(key)
+
+    def keys(self) -> List[Any]:
+        """All keys currently stored (scans every page)."""
+        out: List[Any] = []
+        for number in range(self.pages):
+            records = self.system.read(f"kv:{self.name}:p{number}")
+            if records:
+                out.extend(key for key, _value in records)
+        return sorted(out)

@@ -1,0 +1,260 @@
+"""A miniature relational layer: whole tables as recoverable objects.
+
+The paper's economics are strongest when recoverable objects are much
+larger than pages — "both application state and files may be many pages
+in size".  Tables are the database-world instance: a
+``CREATE TABLE ... AS SELECT`` derives an entire table from another,
+and with logical logging the derivation costs a log record of
+identifiers and a predicate, never the table's contents.
+
+Tables are single recoverable objects valued as
+``(column-name tuple, row tuple of value tuples)``.  Operations:
+
+* ``create_table`` — physical (the rows enter from outside);
+* ``insert_rows`` — physiological (the appended rows are logged — they
+  too come from outside);
+* ``create_table_as`` — **logical**: reads the source table, writes the
+  derived table; the record carries only table ids plus the small
+  query description (projection columns, filter, order key);
+* ``drop_table`` — a blind tombstone.
+
+Queries (``select``) are runtime reads and never touch the log.
+
+The query description must be deterministic data, not code: filters
+are ``(column, op, literal)`` triples with a fixed operator vocabulary,
+so replay is exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.identifiers import ObjectId
+from repro.core.functions import FunctionRegistry
+from repro.core.operation import Operation, OpKind, delete_object
+from repro.kernel.system import RecoverableSystem
+
+#: Table value: (columns, rows); rows are tuples aligned with columns.
+TableValue = Tuple[Tuple[str, ...], Tuple[Tuple[Any, ...], ...]]
+
+#: Filter operators with deterministic semantics.
+_OPERATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: A filter: (column, operator, literal).
+Predicate = Tuple[str, str, Any]
+
+
+def _apply_query(
+    table: TableValue,
+    columns: Optional[Sequence[str]],
+    where: Optional[Predicate],
+    order_by: Optional[str],
+) -> TableValue:
+    """Evaluate a projection/filter/sort over a table value."""
+    src_columns, src_rows = table
+    rows = list(src_rows)
+    if where is not None:
+        column, op_name, literal = where
+        if op_name not in _OPERATORS:
+            raise ValueError(f"unknown filter operator {op_name!r}")
+        index = src_columns.index(column)
+        compare = _OPERATORS[op_name]
+        rows = [row for row in rows if compare(row[index], literal)]
+    if order_by is not None:
+        key_index = src_columns.index(order_by)
+        rows.sort(key=lambda row: row[key_index])
+    if columns is not None:
+        indices = [src_columns.index(name) for name in columns]
+        out_columns = tuple(columns)
+        rows = [tuple(row[i] for i in indices) for row in rows]
+    else:
+        out_columns = tuple(src_columns)
+    return (out_columns, tuple(rows))
+
+
+def _rel_insert(
+    reads: Mapping[ObjectId, Any], table: ObjectId, rows: tuple
+) -> Dict[ObjectId, Any]:
+    """Append logged rows to a table (physiological)."""
+    current = reads[table]
+    if current is None:
+        raise ValueError(f"insert into missing table object {table!r}")
+    columns, existing = current
+    for row in rows:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row arity {len(row)} != table arity {len(columns)}"
+            )
+    return {table: (columns, existing + tuple(tuple(r) for r in rows))}
+
+
+def _rel_ctas(
+    reads: Mapping[ObjectId, Any],
+    src: ObjectId,
+    dst: ObjectId,
+    columns: Optional[tuple],
+    where: Optional[tuple],
+    order_by: Optional[str],
+) -> Dict[ObjectId, Any]:
+    """CREATE TABLE AS SELECT: dst <- query(src), fully logical."""
+    table = reads[src]
+    if table is None:
+        raise ValueError(f"CTAS from missing table object {src!r}")
+    return {dst: _apply_query(table, columns, where, order_by)}
+
+
+def register_relational_functions(registry: FunctionRegistry) -> None:
+    """Register the relational transforms (idempotent)."""
+    for name, fn in (("rel_insert", _rel_insert), ("rel_ctas", _rel_ctas)):
+        if not registry.registered(name):
+            registry.register(name, fn)
+
+
+class CtasLoggingMode(enum.Enum):
+    """How CREATE TABLE AS SELECT is logged (the E2e comparison)."""
+
+    LOGICAL = "logical"
+    PHYSICAL = "physical"
+
+
+class RelationalStore:
+    """Named tables over one recoverable system."""
+
+    def __init__(
+        self,
+        system: RecoverableSystem,
+        mode: CtasLoggingMode = CtasLoggingMode.LOGICAL,
+    ) -> None:
+        self.system = system
+        self.mode = mode
+        register_relational_functions(system.registry)
+
+    @staticmethod
+    def object_id(table: str) -> ObjectId:
+        """The recoverable object backing ``table``."""
+        return f"table:{table}"
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Sequence[Sequence[Any]] = (),
+    ) -> Operation:
+        """Create a table with external data (physical write)."""
+        obj = self.object_id(name)
+        value: TableValue = (
+            tuple(columns),
+            tuple(tuple(row) for row in rows),
+        )
+        op = Operation(
+            f"create({name})",
+            OpKind.PHYSICAL,
+            reads=set(),
+            writes={obj},
+            payload={obj: value},
+        )
+        self.system.execute(op)
+        return op
+
+    def insert_rows(
+        self, name: str, rows: Sequence[Sequence[Any]]
+    ) -> Operation:
+        """Append rows (physiological; the rows are logged)."""
+        obj = self.object_id(name)
+        op = Operation(
+            f"insert({name},{len(rows)})",
+            OpKind.PHYSIOLOGICAL,
+            reads={obj},
+            writes={obj},
+            fn="rel_insert",
+            params=(obj, tuple(tuple(row) for row in rows)),
+        )
+        self.system.execute(op)
+        return op
+
+    def create_table_as(
+        self,
+        name: str,
+        source: str,
+        columns: Optional[Sequence[str]] = None,
+        where: Optional[Predicate] = None,
+        order_by: Optional[str] = None,
+    ) -> Operation:
+        """CREATE TABLE name AS SELECT columns FROM source WHERE ...
+
+        Logical mode logs table ids plus the query description;
+        physical mode (the baseline) logs the entire derived table.
+        """
+        src_obj, dst_obj = self.object_id(source), self.object_id(name)
+        cols = tuple(columns) if columns is not None else None
+        if self.mode is CtasLoggingMode.LOGICAL:
+            op = Operation(
+                f"ctas({source}->{name})",
+                OpKind.LOGICAL,
+                reads={src_obj},
+                writes={dst_obj},
+                fn="rel_ctas",
+                params=(src_obj, dst_obj, cols, where, order_by),
+            )
+        else:
+            table = self.system.read(src_obj)
+            if table is None:
+                raise KeyError(f"no such table {source!r}")
+            derived = _apply_query(table, cols, where, order_by)
+            op = Operation(
+                f"ctas_P({name})",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={dst_obj},
+                payload={dst_obj: derived},
+            )
+        self.system.execute(op)
+        return op
+
+    def drop_table(self, name: str) -> Operation:
+        """Drop a table (blind tombstone)."""
+        op = delete_object(self.object_id(name))
+        self.system.execute(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # queries (runtime reads, unlogged)
+    # ------------------------------------------------------------------
+    def table_exists(self, name: str) -> bool:
+        return self.system.read(self.object_id(name)) is not None
+
+    def columns(self, name: str) -> Tuple[str, ...]:
+        table = self._table(name)
+        return table[0]
+
+    def row_count(self, name: str) -> int:
+        return len(self._table(name)[1])
+
+    def select(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+        where: Optional[Predicate] = None,
+        order_by: Optional[str] = None,
+    ) -> List[Tuple[Any, ...]]:
+        """Evaluate a query against the current table (never logged)."""
+        table = self._table(name)
+        cols = tuple(columns) if columns is not None else None
+        return list(_apply_query(table, cols, where, order_by)[1])
+
+    def _table(self, name: str) -> TableValue:
+        table = self.system.read(self.object_id(name))
+        if table is None:
+            raise KeyError(f"no such table {name!r}")
+        return table

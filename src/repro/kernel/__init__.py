@@ -1,0 +1,23 @@
+"""The recoverable system kernel.
+
+:class:`~repro.kernel.system.RecoverableSystem` is the public facade: it
+wires the stable store, the WAL, the cache manager and the recovery
+manager into one object that domains and experiments drive.  The kernel
+also provides crash injection (:mod:`~repro.kernel.crash`) and the
+oracle-based recoverability verifier (:mod:`~repro.kernel.verify`).
+"""
+
+from repro.kernel.system import RecoverableSystem, SystemConfig
+from repro.kernel.crash import CrashInjector, CrashNow
+from repro.kernel.verify import verify_recovered, VerificationError
+from repro.kernel.backup_manager import BackupManager
+
+__all__ = [
+    "RecoverableSystem",
+    "SystemConfig",
+    "CrashInjector",
+    "CrashNow",
+    "verify_recovered",
+    "VerificationError",
+    "BackupManager",
+]

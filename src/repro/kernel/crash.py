@@ -1,0 +1,92 @@
+"""Crash injection.
+
+Experiments need crashes at adversarial moments: after the k-th
+operation, after a specific flush, or — for the torn-write
+demonstration — *in the middle of* a non-atomic multi-object flush.
+:class:`CrashInjector` arms those hooks on a RecoverableSystem and
+raises :class:`CrashNow`, which drivers catch and convert into
+``system.crash()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.common.identifiers import ObjectId
+from repro.core.operation import Operation
+from repro.kernel.system import RecoverableSystem
+
+
+class CrashNow(Exception):
+    """Raised by an armed hook at the injected crash point."""
+
+
+class CrashInjector:
+    """Arms crash points on a system and drives workloads through them.
+
+    Typical use::
+
+        injector = CrashInjector(system)
+        survived = injector.run_until_crash(ops, crash_after_op=7)
+        system.crash()
+        system.recover()
+    """
+
+    def __init__(self, system: RecoverableSystem) -> None:
+        self.system = system
+
+    # ------------------------------------------------------------------
+    # mid-flush tearing
+    # ------------------------------------------------------------------
+    def arm_mid_flush_crash(self, after_writes: int = 1) -> None:
+        """Crash after ``after_writes`` writes of the next non-atomic
+        multi-object flush (tears the flush set)."""
+        remaining = {"count": after_writes}
+
+        def hook(obj: ObjectId) -> None:
+            if remaining["count"] == 0:
+                raise CrashNow(f"torn before writing {obj!r}")
+            remaining["count"] -= 1
+
+        self.system.store.mid_write_hook = hook
+
+    def disarm(self) -> None:
+        """Remove any armed mid-flush hook."""
+        self.system.store.mid_write_hook = None
+
+    # ------------------------------------------------------------------
+    # driving workloads
+    # ------------------------------------------------------------------
+    def run_until_crash(
+        self,
+        ops: Iterable[Operation],
+        crash_after_op: Optional[int] = None,
+        purge_every: Optional[int] = None,
+        on_step: Optional[Callable[[int, Operation], None]] = None,
+    ) -> int:
+        """Execute ``ops``, optionally purging periodically, until a
+        crash point fires or the workload ends.
+
+        Returns the number of operations executed.  ``crash_after_op``
+        crashes immediately after the given (0-based) operation index;
+        an armed mid-flush hook can crash earlier, from inside a purge.
+        A fired crash point leaves the system un-crashed — the caller
+        performs ``system.crash()`` so that tests can inspect the
+        pre-crash wreckage first.
+        """
+        executed = 0
+        try:
+            for index, op in enumerate(ops):
+                self.system.execute(op)
+                executed += 1
+                if on_step is not None:
+                    on_step(index, op)
+                if purge_every and (index + 1) % purge_every == 0:
+                    self.system.purge()
+                if crash_after_op is not None and index >= crash_after_op:
+                    raise CrashNow(f"after operation index {index}")
+        except CrashNow:
+            pass
+        finally:
+            self.disarm()
+        return executed

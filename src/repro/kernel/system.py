@@ -1,0 +1,230 @@
+"""RecoverableSystem: the wired-together recoverable database.
+
+A system owns one stable store, one log manager, one cache manager and a
+function registry, and exposes the lifecycle the paper describes:
+
+* ``execute(op)`` during normal operation (WAL + write-graph
+  maintenance);
+* ``purge()`` / ``flush_all()`` / ``checkpoint()`` cache management;
+* ``crash()`` — volatile state (cache + log buffer) is lost;
+* ``recover()`` — analysis + redo per the configured REDO test, then
+  adoption of the redone operations into a fresh cache manager so that
+  post-recovery flushing obeys the same write-graph rules as normal
+  execution (Section 5's closing point).
+
+The system also maintains the submitted history so verifiers can
+compare recovered state with the oracle over the *stable* history (the
+operations whose records survived on the stable log — operations whose
+records were still in the volatile buffer at the crash never happened,
+durably speaking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cache.cache_manager import CacheManager
+from repro.cache.config import CacheConfig
+from repro.common.identifiers import ObjectId, StateId
+from repro.core.functions import FunctionRegistry, default_registry
+from repro.core.history import History
+from repro.core.operation import Operation
+from repro.core.oracle import Oracle
+from repro.core.recovery import RecoveryManager, RecoveryReport
+from repro.core.redo import GeneralizedRedoTest, RedoTest
+from repro.storage.stable_store import StableStore
+from repro.storage.stats import IOStats
+from repro.wal.log_manager import LogManager
+
+
+@dataclass
+class SystemConfig:
+    """Configuration for one RecoverableSystem."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    redo_test: RedoTest = field(default_factory=GeneralizedRedoTest)
+    #: Automatic checkpointing: write a checkpoint record (and truncate
+    #: the installed log prefix) whenever this many log bytes have
+    #: accumulated since the last checkpoint.  None = manual only.
+    checkpoint_every_bytes: Optional[int] = None
+    #: Whether automatic checkpoints truncate the log.
+    truncate_on_checkpoint: bool = True
+
+    def fresh_cache_config(self) -> CacheConfig:
+        """Cache config for the post-recovery cache manager."""
+        return self.cache
+
+
+class RecoverableSystem:
+    """A complete simulated recoverable system."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        registry: Optional[FunctionRegistry] = None,
+        store: Optional[StableStore] = None,
+        log: Optional[LogManager] = None,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig()
+        self.registry = (
+            registry if registry is not None else default_registry()
+        )
+        self.stats = IOStats()
+        if store is not None:
+            store.stats = self.stats
+        if log is not None:
+            log.stats = self.stats
+        self.store = store if store is not None else StableStore(self.stats)
+        self.log = log if log is not None else LogManager(self.stats)
+        self.cache = CacheManager(
+            self.store, self.log, self.registry, self.config.cache, self.stats
+        )
+        self.history = History()
+        self._crashed = False
+        self._lost_lsis: set = set()
+        self.last_report: Optional[RecoveryReport] = None
+        self._tracer = None
+        self._checkpoint_marker = 0
+
+    def attach_tracer(self, tracer=None):
+        """Attach (or create) an event tracer; survives crash/recover.
+
+        Returns the tracer so callers can inspect
+        :attr:`repro.analysis.trace.Tracer.events`.
+        """
+        if tracer is None:
+            from repro.analysis.trace import Tracer
+
+            tracer = Tracer()
+        self._tracer = tracer
+        self.cache.tracer = tracer
+        return tracer
+
+    # ------------------------------------------------------------------
+    # normal operation
+    # ------------------------------------------------------------------
+    def execute(self, op: Operation) -> Dict[ObjectId, Any]:
+        """Submit one operation in conflict order."""
+        if self._crashed:
+            raise RuntimeError("system is crashed; call recover() first")
+        # Execute first: a failing operation must leave neither a log
+        # record nor a history entry.
+        writes = self.cache.execute(op)
+        self.history.append(op)
+        self._maybe_auto_checkpoint()
+        return writes
+
+    def _maybe_auto_checkpoint(self) -> None:
+        threshold = self.config.checkpoint_every_bytes
+        if threshold is None:
+            return
+        accumulated = self.stats.log_bytes - self._checkpoint_marker
+        if accumulated >= threshold:
+            self.checkpoint(truncate=self.config.truncate_on_checkpoint)
+            self._checkpoint_marker = self.stats.log_bytes
+
+    def read(self, obj: ObjectId) -> Any:
+        """Read the current value of ``obj`` (through the cache)."""
+        if self._crashed:
+            raise RuntimeError("system is crashed; call recover() first")
+        return self.cache.read_object(obj)
+
+    def peek(self, obj: ObjectId) -> Any:
+        """Read without I/O accounting; works even while crashed (it
+        inspects whatever survives)."""
+        return self.cache.peek_object(obj)
+
+    def purge(self) -> bool:
+        """Install one write-graph node (PurgeCache)."""
+        return self.cache.purge()
+
+    def flush_all(self) -> int:
+        """Install every uninstalled operation."""
+        return self.cache.flush_all()
+
+    def checkpoint(self, truncate: bool = False) -> StateId:
+        """Write a checkpoint record; optionally truncate the log."""
+        return self.cache.checkpoint(truncate=truncate)
+
+    # ------------------------------------------------------------------
+    # crash and recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> List[Operation]:
+        """Lose all volatile state; returns the durably-lost operations.
+
+        The cache and the volatile log buffer are discarded.  Operations
+        whose records had not reached the stable log are removed from
+        the history — durably, they never happened.
+        """
+        lost_lsis = set(self.log.buffered_lsis())
+        self.log.crash()
+        lost = [op for op in self.history if op.lsi in lost_lsis]
+        self._lost_lsis = lost_lsis
+        self.cache = CacheManager(
+            self.store,
+            self.log,
+            self.registry,
+            self.config.fresh_cache_config(),
+            self.stats,
+        )
+        self.cache.tracer = self._tracer
+        self._crashed = True
+        return lost
+
+    def recover(
+        self, media_redo_start: Optional[StateId] = None
+    ) -> RecoveryReport:
+        """Run analysis + redo and adopt the outcome.
+
+        ``media_redo_start`` enables media-recovery mode after a backup
+        restore: the redo scan starts at the backup-start lSI with the
+        per-object vSI test (see RecoveryManager.run).
+        """
+        manager = RecoveryManager(
+            self.log,
+            self.store,
+            self.registry,
+            self.config.redo_test,
+            self.stats,
+        )
+        outcome = manager.run(media_redo_start=media_redo_start)
+        # Drop the operations whose records died in the volatile log
+        # buffer — durably, they never happened.  The surviving history
+        # deliberately includes operations truncated off the log: they
+        # are installed, and the verification oracle needs them to
+        # compute expected values.  On a *cold open* (no in-process
+        # history, e.g. a persistent database directory) the stable log
+        # is all we have.
+        if len(self.history) == 0 and outcome.stable_ops:
+            survivors = list(outcome.stable_ops)
+        else:
+            survivors = [
+                op for op in self.history if op.lsi not in self._lost_lsis
+            ]
+        self.history = History()
+        for op in survivors:
+            self.history.append(op)
+        self.cache = CacheManager(
+            self.store,
+            self.log,
+            self.registry,
+            self.config.fresh_cache_config(),
+            self.stats,
+        )
+        self.cache.adopt_recovery(outcome.volatile, outcome.redone_ops)
+        self.cache.tracer = self._tracer
+        self._crashed = False
+        self.last_report = outcome.report
+        return outcome.report
+
+    # ------------------------------------------------------------------
+    # verification support
+    # ------------------------------------------------------------------
+    def oracle(self, initial: Optional[Dict[ObjectId, Any]] = None) -> Oracle:
+        """An oracle bound to this system's function registry."""
+        return Oracle(self.registry, initial)
+
+    def stable_values(self) -> Dict[ObjectId, Any]:
+        """Raw stable-store values (verifiers only; no accounting)."""
+        return {obj: version.value for obj, version in self.store.items()}

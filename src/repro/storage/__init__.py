@@ -1,0 +1,33 @@
+"""Simulated stable storage.
+
+The stable store plays the role of the disk-resident database in the
+paper: it survives crashes, it is updated by *flushing* cached objects,
+and multi-object flushes are atomic only when performed through an
+atomicity mechanism (Section 4 discusses two traditional ones — shadow
+paging and flush transactions — which are implemented here as the
+baselines that cache-manager identity writes are compared against).
+
+All I/O is accounted in :class:`~repro.storage.stats.IOStats` so the
+benchmark harness can regenerate the paper's cost comparisons exactly.
+"""
+
+from repro.storage.stats import IOStats
+from repro.storage.stable_store import StableStore, StoredVersion
+from repro.storage.atomic import (
+    AtomicFlushMechanism,
+    RawMultiWrite,
+    ShadowInstall,
+    FlushTransaction,
+)
+from repro.storage.backup import FuzzyBackup
+
+__all__ = [
+    "IOStats",
+    "StableStore",
+    "StoredVersion",
+    "AtomicFlushMechanism",
+    "RawMultiWrite",
+    "ShadowInstall",
+    "FlushTransaction",
+    "FuzzyBackup",
+]

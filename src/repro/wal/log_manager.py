@@ -1,0 +1,200 @@
+"""The log manager: volatile buffer + stable log with WAL enforcement.
+
+LSNs (our lSIs) are assigned when a record enters the volatile buffer;
+records move to the stable log in order when the buffer is *forced*.
+A crash discards the buffer — operations whose records never reached
+the stable log simply never happened, which is why the stable log is
+always a prefix of the submitted record sequence (the "conflict graph
+prefix" that PurgeCache writes).
+
+Truncation discards a stable-log prefix after a checkpoint; the manager
+refuses to truncate past the caller-supplied redo start point so that
+every uninstalled operation (and the backup start point, for media
+recovery) stays on the log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.common.errors import LogTruncationError, WALViolationError
+from repro.common.identifiers import NULL_SI, ObjectId, StateId
+from repro.core.operation import Operation
+from repro.storage.stable_store import StoredVersion
+from repro.storage.stats import IOStats
+from repro.wal.records import (
+    FlushTxnCommitRecord,
+    FlushTxnValuesRecord,
+    LogRecord,
+    OperationRecord,
+)
+
+
+class LogManager:
+    """Append-ordered log with a volatile buffer and a stable tail."""
+
+    def __init__(self, stats: Optional[IOStats] = None) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self._stable: List[LogRecord] = []
+        self._buffer: List[LogRecord] = []
+        self._next_lsi: StateId = NULL_SI + 1
+        self._truncated_before: StateId = NULL_SI + 1
+        self._next_txn_id = 1
+        self._protections: Dict[int, StateId] = {}
+        self._next_protection_token = 1
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> StateId:
+        """Append ``record`` to the volatile buffer, assigning its lSI."""
+        record.lsi = self._next_lsi
+        self._next_lsi += 1
+        self._buffer.append(record)
+        self.stats.log_records += 1
+        self.stats.log_bytes += record.record_size()
+        self.stats.log_value_bytes += record.value_bytes()
+        return record.lsi
+
+    def append_operation(self, op: Operation) -> StateId:
+        """Log an operation; its ``lsi`` field is set as a side effect."""
+        record = OperationRecord(op)
+        lsi = self.append(record)
+        op.lsi = lsi
+        return lsi
+
+    def append_flush_transaction(
+        self, versions: Mapping[ObjectId, StoredVersion]
+    ) -> StateId:
+        """Log the values + commit records of one flush transaction."""
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self.append(
+            FlushTxnValuesRecord(
+                txn_id,
+                {obj: (v.value, v.vsi) for obj, v in versions.items()},
+            )
+        )
+        return self.append(FlushTxnCommitRecord(txn_id))
+
+    # ------------------------------------------------------------------
+    # forcing (WAL)
+    # ------------------------------------------------------------------
+    def force(self) -> None:
+        """Force the whole volatile buffer to the stable log."""
+        if self._buffer:
+            self._stable.extend(self._buffer)
+            self._buffer.clear()
+            self.stats.log_forces += 1
+
+    def force_through(self, lsi: StateId) -> None:
+        """Force the buffer prefix up to and including ``lsi``.
+
+        Forcing a prefix (not the whole buffer) matches PurgeCache:
+        "write a conflict graph prefix of operations ... to the stable
+        log in conflict order (WAL protocol)".
+        """
+        if not self._buffer or self._buffer[0].lsi > lsi:
+            return
+        cut = 0
+        while cut < len(self._buffer) and self._buffer[cut].lsi <= lsi:
+            cut += 1
+        self._stable.extend(self._buffer[:cut])
+        del self._buffer[:cut]
+        self.stats.log_forces += 1
+
+    def assert_stable(self, lsi: StateId) -> None:
+        """Raise WALViolationError unless ``lsi`` is on the stable log."""
+        if lsi == NULL_SI:
+            return
+        if not self.is_stable(lsi):
+            raise WALViolationError(
+                f"lSI {lsi} is not on the stable log; flushing its effects "
+                "would violate the WAL protocol"
+            )
+
+    def is_stable(self, lsi: StateId) -> bool:
+        """True when the record with ``lsi`` reached the stable log
+        (or was legitimately truncated away)."""
+        if lsi < self._truncated_before:
+            return True
+        return bool(self._stable) and self._stable[-1].lsi >= lsi
+
+    # ------------------------------------------------------------------
+    # reading (recovery)
+    # ------------------------------------------------------------------
+    def stable_records(
+        self, from_lsi: StateId = NULL_SI
+    ) -> Iterator[LogRecord]:
+        """Stable records with lSI >= ``from_lsi``, in log order."""
+        for record in self._stable:
+            if record.lsi >= from_lsi:
+                yield record
+
+    def stable_end_lsi(self) -> StateId:
+        """lSI of the last stable record (NULL_SI when empty)."""
+        return self._stable[-1].lsi if self._stable else NULL_SI
+
+    def stable_start_lsi(self) -> StateId:
+        """lSI of the first retained stable record."""
+        return self._stable[0].lsi if self._stable else self._truncated_before
+
+    def buffered_lsis(self) -> List[StateId]:
+        """lSIs still only in the volatile buffer (lost at crash)."""
+        return [r.lsi for r in self._buffer]
+
+    # ------------------------------------------------------------------
+    # truncation and crash
+    # ------------------------------------------------------------------
+    def add_protection(self, lsi: StateId) -> int:
+        """Protect records with lSI >= ``lsi`` from truncation.
+
+        Used by media recovery: a fuzzy backup's redo window must stay
+        on the log until the backup is superseded.  Returns a token for
+        :meth:`remove_protection`.
+        """
+        token = self._next_protection_token
+        self._next_protection_token += 1
+        self._protections[token] = lsi
+        return token
+
+    def remove_protection(self, token: int) -> None:
+        """Release a truncation protection."""
+        self._protections.pop(token, None)
+
+    def min_protected_lsi(self) -> Optional[StateId]:
+        """The smallest protected lSI, or None when nothing is protected."""
+        if not self._protections:
+            return None
+        return min(self._protections.values())
+
+    def truncate_before(self, lsi: StateId, redo_start: StateId) -> int:
+        """Discard stable records with lSI < ``lsi``.
+
+        ``redo_start`` is the current redo scan start point (minimum rSI
+        over dirty objects, or end of log); truncating at or past it
+        would lose uninstalled operations, so it is refused.  Active
+        protections (backup redo windows) clamp the cut silently — the
+        caller asked to reclaim *up to* ``lsi``, and the log reclaims
+        what it safely can.  Returns the number of records discarded.
+        """
+        if lsi > redo_start:
+            raise LogTruncationError(
+                f"cannot truncate before lSI {lsi}: redo scan start point "
+                f"is {redo_start}"
+            )
+        protected = self.min_protected_lsi()
+        if protected is not None:
+            lsi = min(lsi, protected)
+        kept = [r for r in self._stable if r.lsi >= lsi]
+        dropped = len(self._stable) - len(kept)
+        self._stable = kept
+        self._truncated_before = max(self._truncated_before, lsi)
+        return dropped
+
+    def crash(self) -> None:
+        """Discard the volatile buffer (the stable log survives)."""
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._stable) + len(self._buffer)

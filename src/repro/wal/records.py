@@ -1,0 +1,136 @@
+"""Log record types.
+
+Beyond operation records, the paper's Section 5 relies on three further
+record kinds that feed the analysis pass:
+
+* **installation records** — "we capture these opportunities to advance
+  object rSI's by logging the installation of each node n of rW.  In
+  that log record, in addition to identifying the objects of vars(n) and
+  their rSI's, we identify objects in Notx(n) and their rSI's";
+* **flush records** — the physiological analogue: "by logging the flush
+  of an object ... we are recording not only that the object is now
+  clean but also that prior operations updating the object are
+  installed";
+* **checkpoint records** — ARIES-style: the dirty object table (object
+  ids and rSIs) as of the checkpoint.
+
+Flush-transaction value/commit records implement the Section 4 baseline
+atomic-flush mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.identifiers import NULL_SI, ObjectId, StateId
+from repro.common.sizes import ID_SIZE, RECORD_HEADER_SIZE, SCALAR_SIZE, size_of
+from repro.core.operation import Operation
+
+
+@dataclass
+class LogRecord:
+    """Base log record; ``lsi`` is assigned by the log manager."""
+
+    lsi: StateId = field(default=NULL_SI, init=False)
+
+    def record_size(self) -> int:
+        """Modelled byte size of the record."""
+        return RECORD_HEADER_SIZE
+
+    def value_bytes(self) -> int:
+        """Bytes of data values carried (the logical-logging saving)."""
+        return 0
+
+
+@dataclass
+class OperationRecord(LogRecord):
+    """The record describing one redoable operation."""
+
+    op: Operation
+
+    def record_size(self) -> int:
+        return self.op.record_size()
+
+    def value_bytes(self) -> int:
+        return self.op.value_bytes()
+
+
+@dataclass
+class InstallationRecord(LogRecord):
+    """Logged when a write-graph node is installed.
+
+    ``flushed`` maps each object of vars(n) to its new rSI, or None when
+    the object became clean (no uninstalled writer remains).
+    ``unexposed`` maps each object of Notx(n) to its new rSI — always
+    present, since an unexposed object by definition has a later blind
+    writer still uninstalled (or was deleted, mapping to None).
+    ``installed_lsis`` lists the lSIs of the operations installed, which
+    lets the analysis pass account for partially-installed histories.
+    """
+
+    flushed: Dict[ObjectId, Optional[StateId]]
+    unexposed: Dict[ObjectId, Optional[StateId]]
+    installed_lsis: Tuple[StateId, ...] = ()
+
+    def record_size(self) -> int:
+        entries = len(self.flushed) + len(self.unexposed)
+        return (
+            RECORD_HEADER_SIZE
+            + entries * (ID_SIZE + SCALAR_SIZE)
+            + len(self.installed_lsis) * SCALAR_SIZE
+        )
+
+
+@dataclass
+class FlushRecord(LogRecord):
+    """Lazily logged after a single-object physiological flush."""
+
+    obj: ObjectId
+    vsi: StateId
+
+    def record_size(self) -> int:
+        return RECORD_HEADER_SIZE + ID_SIZE + SCALAR_SIZE
+
+
+@dataclass
+class CheckpointRecord(LogRecord):
+    """ARIES-style checkpoint: the dirty object table snapshot."""
+
+    dirty_objects: Dict[ObjectId, StateId]
+
+    def record_size(self) -> int:
+        return RECORD_HEADER_SIZE + len(self.dirty_objects) * (
+            ID_SIZE + SCALAR_SIZE
+        )
+
+
+@dataclass
+class FlushTxnValuesRecord(LogRecord):
+    """Object values written to the log by a flush transaction."""
+
+    txn_id: int
+    versions: Dict[ObjectId, Tuple[Any, StateId]]  # value, vSI
+
+    def record_size(self) -> int:
+        return (
+            RECORD_HEADER_SIZE
+            + SCALAR_SIZE
+            + sum(
+                ID_SIZE + SCALAR_SIZE + size_of(value)
+                for value, _vsi in self.versions.values()
+            )
+        )
+
+    def value_bytes(self) -> int:
+        return sum(size_of(value) for value, _vsi in self.versions.values())
+
+
+@dataclass
+class FlushTxnCommitRecord(LogRecord):
+    """Commit record making a flush transaction durable."""
+
+    txn_id: int
+
+    def record_size(self) -> int:
+        return RECORD_HEADER_SIZE + SCALAR_SIZE

@@ -1,0 +1,96 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Release-soak knob: REPRO_SOAK=5 multiplies every property test's
+#: example budget by 5.  The default keeps the suite fast.
+SOAK = max(1, int(os.environ.get("REPRO_SOAK", "1")))
+
+
+def examples(base: int) -> int:
+    """Example budget for a property test, scaled by the soak knob."""
+    return base * SOAK
+
+from repro import (
+    CacheConfig,
+    GraphMode,
+    MultiObjectStrategy,
+    Operation,
+    OpKind,
+    RecoverableSystem,
+    SystemConfig,
+)
+from repro.storage import FlushTransaction, ShadowInstall
+from repro.workloads import register_workload_functions
+
+
+def physical(obj: str, data: bytes, name: str = "") -> Operation:
+    """A blind physical write of ``data`` to ``obj``."""
+    return Operation(
+        name or f"wp({obj})",
+        OpKind.PHYSICAL,
+        reads=set(),
+        writes={obj},
+        payload={obj: data},
+    )
+
+
+def logical(
+    name: str, fn: str, reads: set, writes: set, params: tuple = ()
+) -> Operation:
+    """A logical operation shell."""
+    return Operation(
+        name, OpKind.LOGICAL, reads=reads, writes=writes, fn=fn, params=params
+    )
+
+
+def physiological(name: str, obj: str, fn: str, params: tuple) -> Operation:
+    """A physiological X <- f(X) operation."""
+    return Operation(
+        name,
+        OpKind.PHYSIOLOGICAL,
+        reads={obj},
+        writes={obj},
+        fn=fn,
+        params=params,
+    )
+
+
+@pytest.fixture
+def system() -> RecoverableSystem:
+    """A default system (rW graph, identity writes, generalized REDO)
+    with the workload transforms registered."""
+    sys_ = RecoverableSystem()
+    register_workload_functions(sys_.registry)
+    return sys_
+
+
+CACHE_CONFIGS = {
+    "rw-identity": lambda: CacheConfig(),
+    "rw-shadow": lambda: CacheConfig(
+        multi_object_strategy=MultiObjectStrategy.ATOMIC,
+        mechanism=ShadowInstall(),
+    ),
+    "rw-flushtxn": lambda: CacheConfig(
+        multi_object_strategy=MultiObjectStrategy.ATOMIC,
+        mechanism=FlushTransaction(),
+    ),
+    "w-shadow": lambda: CacheConfig(
+        graph_mode=GraphMode.W,
+        multi_object_strategy=MultiObjectStrategy.ATOMIC,
+        mechanism=ShadowInstall(),
+    ),
+}
+
+
+@pytest.fixture(params=sorted(CACHE_CONFIGS))
+def any_cache_system(request) -> RecoverableSystem:
+    """A system parameterized over all supported cache configurations."""
+    config = SystemConfig(cache=CACHE_CONFIGS[request.param]())
+    sys_ = RecoverableSystem(config)
+    register_workload_functions(sys_.registry)
+    return sys_

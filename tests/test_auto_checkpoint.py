@@ -1,0 +1,83 @@
+"""Tests for automatic checkpointing (SystemConfig.checkpoint_every_bytes)."""
+
+import pytest
+
+from repro import RecoverableSystem, SystemConfig, verify_recovered
+from repro.wal.records import CheckpointRecord
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+from tests.conftest import physical
+
+
+def _checkpoints(system) -> int:
+    return sum(
+        1
+        for record in system.log.stable_records()
+        if isinstance(record, CheckpointRecord)
+    )
+
+
+class TestAutoCheckpoint:
+    def test_checkpoints_fire_by_log_volume(self):
+        system = RecoverableSystem(
+            SystemConfig(checkpoint_every_bytes=2000)
+        )
+        for index in range(40):
+            system.execute(physical(f"o{index}", b"v" * 64))
+        assert _checkpoints(system) >= 2
+
+    def test_disabled_by_default(self):
+        system = RecoverableSystem()
+        for index in range(40):
+            system.execute(physical(f"o{index}", b"v" * 64))
+        system.log.force()
+        assert _checkpoints(system) == 0
+
+    def test_truncation_keeps_log_bounded(self):
+        bounded = RecoverableSystem(
+            SystemConfig(checkpoint_every_bytes=3000)
+        )
+        unbounded = RecoverableSystem()
+        for index in range(120):
+            for system in (bounded, unbounded):
+                system.execute(physical(f"o{index % 6}", b"v" * 64))
+                system.flush_all()
+        unbounded.log.force()
+        bounded_len = len(list(bounded.log.stable_records()))
+        unbounded_len = len(list(unbounded.log.stable_records()))
+        assert bounded_len < unbounded_len / 2
+
+    def test_recovery_with_auto_checkpoints(self):
+        system = RecoverableSystem(
+            SystemConfig(checkpoint_every_bytes=1500)
+        )
+        register_workload_functions(system.registry)
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(objects=5, operations=60, object_size=48),
+            seed=9,
+        )
+        for index, op in enumerate(workload.operations()):
+            system.execute(op)
+            if index % 7 == 0:
+                system.purge()
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_recovery_scans_from_latest_checkpoint(self):
+        system = RecoverableSystem(
+            SystemConfig(checkpoint_every_bytes=1000)
+        )
+        for index in range(30):
+            system.execute(physical(f"o{index}", b"v" * 64))
+            system.flush_all()
+        system.crash()
+        report = system.recover()
+        verify_recovered(system)
+        # Scan work is bounded by the checkpoint interval, not by the
+        # 30-operation history.
+        assert report.records_scanned < 20

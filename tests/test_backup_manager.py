@@ -1,0 +1,139 @@
+"""Tests for BackupManager: fuzzy backups under concurrent execution,
+truncation protection, retention, and media recovery."""
+
+import pytest
+
+from repro import RecoverableSystem, verify_recovered
+from repro.kernel import BackupManager
+from repro.workloads import register_workload_functions
+from tests.conftest import logical, physical
+
+
+@pytest.fixture
+def rig():
+    system = RecoverableSystem()
+    register_workload_functions(system.registry)
+    return system, BackupManager(system)
+
+
+def _seed(system, count=4):
+    for index in range(count):
+        system.execute(physical(f"o{index}", bytes([index]) * 16))
+    system.flush_all()
+
+
+class TestTakingBackups:
+    def test_backup_copies_stable_objects(self, rig):
+        system, manager = rig
+        _seed(system)
+        backup = manager.take_backup()
+        assert len(backup) == len(system.store)
+        assert backup.finished
+
+    def test_interleave_makes_it_fuzzy(self, rig):
+        system, manager = rig
+
+        def interleave(step, obj):
+            if step == 1:
+                system.execute(
+                    logical(
+                        "mix", "wl_combine", {"o0", "o1"}, {"o1"},
+                        ("o0", "o1"),
+                    )
+                )
+                system.flush_all()
+
+        _seed(system)
+        backup = manager.take_backup(interleave=interleave)
+        assert backup.finished
+        # The image must be repairable by replay.
+        report = manager.restore_latest()
+        verify_recovered(system)
+
+    def test_redo_window_covers_dirty_objects(self, rig):
+        system, manager = rig
+        _seed(system)
+        # An uninstalled operation: its effect is in neither the store
+        # nor the image, so the window must open at its rSI.
+        op = physical("dirty-obj", b"x")
+        system.execute(op)
+        system.log.force()
+        backup = manager.take_backup()
+        assert backup.start_lsi <= op.lsi
+        manager.restore_latest()
+        verify_recovered(system)
+        assert system.read("dirty-obj") == b"x"
+
+
+class TestTruncationProtection:
+    def test_backup_window_survives_checkpoint_truncation(self, rig):
+        system, manager = rig
+        _seed(system)
+        backup = manager.take_backup()
+        # More work + aggressive checkpointing.
+        for index in range(4):
+            system.execute(physical(f"late{index}", b"z"))
+        system.flush_all()
+        system.checkpoint(truncate=True)
+        # The protected window is still on the log.
+        assert system.log.stable_start_lsi() <= backup.start_lsi
+        manager.restore_latest()
+        verify_recovered(system)
+        assert system.read("late3") == b"z"
+
+    def test_discard_releases_protection(self, rig):
+        system, manager = rig
+        _seed(system)
+        backup = manager.take_backup()
+        manager.discard(backup)
+        assert system.log.min_protected_lsi() is None
+        system.checkpoint(truncate=True)
+
+    def test_retention_keeps_latest(self, rig):
+        system, manager = rig
+        _seed(system)
+        first = manager.take_backup()
+        system.execute(physical("extra", b"e"))
+        system.flush_all()
+        second = manager.take_backup()
+        dropped = manager.discard_older_than_latest()
+        assert dropped == 1
+        assert manager.retained() == [second]
+        assert system.log.min_protected_lsi() == second.start_lsi
+
+
+class TestMediaRecovery:
+    def test_restore_without_backup_rejected(self, rig):
+        _system, manager = rig
+        with pytest.raises(ValueError, match="no backup"):
+            manager.restore_latest()
+
+    def test_full_cycle_with_post_backup_work(self, rig):
+        system, manager = rig
+        _seed(system)
+        manager.take_backup()
+        # Post-backup work, fully durable.
+        system.execute(
+            logical("mix", "wl_combine", {"o0", "o1"}, {"o1"}, ("o0", "o1"))
+        )
+        system.execute(physical("o2", b"overwritten"))
+        system.flush_all()
+        expected = {obj: system.read(obj) for obj in ("o0", "o1", "o2")}
+        report = manager.restore_latest()
+        verify_recovered(system)
+        assert report.ops_redone >= 1
+        assert {
+            obj: system.read(obj) for obj in ("o0", "o1", "o2")
+        } == expected
+
+    def test_repeated_restores_idempotent(self, rig):
+        system, manager = rig
+        _seed(system)
+        manager.take_backup()
+        system.execute(physical("x", b"post"))
+        system.flush_all()
+        manager.restore_latest()
+        first = system.stable_values()
+        manager.restore_latest()
+        verify_recovered(system)
+        assert system.stable_values() == first

@@ -1,0 +1,168 @@
+"""Tests for B-tree deletion: logical merges, three-page borrows, root
+collapse, and crash recovery through delete-heavy workloads."""
+
+import random
+
+import pytest
+
+from repro import RecoverableSystem, verify_recovered
+from repro.domains import RecoverableBTree
+from repro.domains.btree import _bt_borrow, _bt_merge, _bt_parent_remove
+
+
+class TestTransforms:
+    def test_leaf_merge_concatenates(self):
+        reads = {
+            "L": ("leaf", (1, 2), (b"a", b"b")),
+            "R": ("leaf", (5, 6), (b"e", b"f")),
+        }
+        got = _bt_merge(reads, "L", "R", 5)
+        assert got == {"L": ("leaf", (1, 2, 5, 6), (b"a", b"b", b"e", b"f"))}
+
+    def test_internal_merge_pulls_separator(self):
+        reads = {
+            "L": ("internal", (10,), ("c0", "c1")),
+            "R": ("internal", (30,), ("c2", "c3")),
+        }
+        got = _bt_merge(reads, "L", "R", 20)
+        assert got == {
+            "L": ("internal", (10, 20, 30), ("c0", "c1", "c2", "c3"))
+        }
+
+    def test_merge_kind_mismatch_rejected(self):
+        reads = {
+            "L": ("leaf", (1,), (b"a",)),
+            "R": ("internal", (2,), ("c0", "c1")),
+        }
+        with pytest.raises(ValueError, match="different kinds"):
+            _bt_merge(reads, "L", "R", 1)
+
+    def test_parent_remove(self):
+        reads = {"P": ("internal", (10, 20), ("c0", "c1", "c2"))}
+        got = _bt_parent_remove(reads, "P", 0)
+        assert got == {"P": ("internal", (20,), ("c0", "c2"))}
+
+    def test_borrow_from_left_leaf(self):
+        reads = {
+            "P": ("internal", (10,), ("L", "C")),
+            "C": ("leaf", (10, 11), (b"x", b"y")),
+            "L": ("leaf", (1, 2, 3), (b"a", b"b", b"c")),
+        }
+        got = _bt_borrow(reads, "P", "C", "L", 1, True)
+        assert got["C"] == ("leaf", (3, 10, 11), (b"c", b"x", b"y"))
+        assert got["L"] == ("leaf", (1, 2), (b"a", b"b"))
+        assert got["P"][1] == (3,)  # new separator = child's new first key
+
+    def test_borrow_from_right_leaf(self):
+        reads = {
+            "P": ("internal", (10,), ("C", "R")),
+            "C": ("leaf", (1,), (b"a",)),
+            "R": ("leaf", (10, 11, 12), (b"x", b"y", b"z")),
+        }
+        got = _bt_borrow(reads, "P", "C", "R", 0, False)
+        assert got["C"] == ("leaf", (1, 10), (b"a", b"x"))
+        assert got["R"] == ("leaf", (11, 12), (b"y", b"z"))
+        assert got["P"][1] == (11,)
+
+    def test_borrow_internal_rotates_through_parent(self):
+        reads = {
+            "P": ("internal", (50,), ("L", "C")),
+            "C": ("internal", (70,), ("c2", "c3")),
+            "L": ("internal", (10, 30), ("c0", "c1", "cx")),
+        }
+        got = _bt_borrow(reads, "P", "C", "L", 1, True)
+        assert got["C"] == ("internal", (50, 70), ("cx", "c2", "c3"))
+        assert got["L"] == ("internal", (10,), ("c0", "c1"))
+        assert got["P"][1] == (30,)
+
+
+class TestDeleteBehaviour:
+    def test_delete_missing_is_noop(self):
+        tree = RecoverableBTree(RecoverableSystem(), capacity=4)
+        tree.insert(1, b"a")
+        tree.delete(99)
+        assert tree.check_structure() == 1
+
+    def test_delete_to_empty_and_reuse(self):
+        tree = RecoverableBTree(RecoverableSystem(), capacity=4)
+        for key in range(40):
+            tree.insert(key, b"v")
+        for key in range(40):
+            tree.delete(key)
+        assert tree.items() == []
+        tree.insert(7, b"back")
+        assert tree.lookup(7) == b"back"
+
+    def test_root_collapse_shrinks_height(self):
+        system = RecoverableSystem()
+        tree = RecoverableBTree(system, capacity=4)
+        for key in range(30):
+            tree.insert(key, b"v")
+        deep_root = system.read(tree.root_ptr_obj)
+        for key in range(29):
+            tree.delete(key)
+        shallow_root = system.read(tree.root_ptr_obj)
+        assert deep_root != shallow_root
+        assert tree.check_structure() == 1
+
+    def test_merge_deletes_sibling_page(self):
+        system = RecoverableSystem()
+        tree = RecoverableBTree(system, capacity=4)
+        for key in range(20):
+            tree.insert(key, b"v")
+        pages_before = len(list(tree._walk_page_ids()))
+        for key in range(15):
+            tree.delete(key)
+        pages_after = len(list(tree._walk_page_ids()))
+        assert pages_after < pages_before
+
+    @pytest.mark.parametrize("capacity", [3, 4, 5, 8])
+    def test_random_mix_keeps_invariants(self, capacity):
+        rng = random.Random(capacity)
+        tree = RecoverableBTree(RecoverableSystem(), capacity=capacity)
+        alive = set()
+        for _round in range(300):
+            key = rng.randrange(60)
+            if key in alive and rng.random() < 0.5:
+                tree.delete(key)
+                alive.discard(key)
+            else:
+                tree.insert(key, f"v{key}".encode())
+                alive.add(key)
+        assert tree.check_structure() == len(alive)
+        assert [k for k, _v in tree.items()] == sorted(alive)
+
+
+class TestDeleteRecovery:
+    def test_crash_during_delete_heavy_workload(self):
+        system = RecoverableSystem()
+        tree = RecoverableBTree(system, capacity=4)
+        for key in range(80):
+            tree.insert(key, f"v{key}".encode())
+        for key in range(0, 80, 2):
+            tree.delete(key)
+        system.log.force()
+        for _ in range(7):
+            system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        recovered = RecoverableBTree(system, capacity=4)
+        assert [k for k, _v in recovered.items()] == list(range(1, 80, 2))
+        assert recovered.check_structure() == 40
+
+    def test_merged_away_pages_not_recovered(self):
+        """Pages deleted by merges are transient objects: after full
+        installation + checkpoint, recovery does nothing for them."""
+        system = RecoverableSystem()
+        tree = RecoverableBTree(system, capacity=4)
+        for key in range(40):
+            tree.insert(key, b"v")
+        for key in range(35):
+            tree.delete(key)
+        system.flush_all()
+        system.checkpoint()
+        system.crash()
+        report = system.recover()
+        verify_recovered(system)
+        assert report.ops_redone == 0

@@ -1,0 +1,81 @@
+"""Regression tests for capacity enforcement interacting with
+identity-write dissolution (a nested purge must not install the node
+being dissolved)."""
+
+import random
+
+import pytest
+
+from repro import (
+    CacheConfig,
+    Operation,
+    OpKind,
+    RecoverableSystem,
+    SystemConfig,
+    verify_recovered,
+)
+from repro.cache.policies import PeelHottest
+
+
+def _multi_system(capacity=3):
+    system = RecoverableSystem(
+        SystemConfig(
+            cache=CacheConfig(capacity=capacity, victim_policy=PeelHottest())
+        )
+    )
+    system.registry.register(
+        "multi",
+        lambda reads, *objs: {
+            obj: bytes([sum(map(ord, obj)) % 256]) * 16 for obj in objs
+        },
+    )
+    return system
+
+
+def _multi_op(step, targets, exposed):
+    return Operation(
+        f"multi#{step}",
+        OpKind.LOGICAL,
+        reads=set(targets) if exposed else set(),
+        writes=set(targets),
+        fn="multi",
+        params=tuple(targets),
+    )
+
+
+class TestCapacityPlusDissolution:
+    def test_multi_writes_under_tiny_capacity(self):
+        """Multi-object writes + capacity-3 cache: every execute may
+        trigger enforcement, which may purge, which may dissolve —
+        the reentrancy path."""
+        system = _multi_system()
+        objects = [f"m{i}" for i in range(6)]
+        rng = random.Random(42)
+        for step in range(40):
+            targets = rng.sample(objects, rng.choice([1, 2, 3]))
+            system.execute(
+                _multi_op(step, targets, exposed=rng.random() < 0.4)
+            )
+            if rng.random() < 0.3:
+                system.log.force()
+            if rng.random() < 0.2:
+                system.purge()
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_variants(self, seed):
+        system = _multi_system(capacity=2)
+        objects = [f"m{i}" for i in range(5)]
+        rng = random.Random(seed)
+        for step in range(25):
+            targets = rng.sample(objects, rng.choice([1, 2]))
+            system.execute(
+                _multi_op(step, targets, exposed=rng.random() < 0.5)
+            )
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)

@@ -1,0 +1,136 @@
+"""Tests for the recoverable file system (repro.domains.filesystem)."""
+
+import pytest
+
+from repro import RecoverableSystem, verify_recovered
+from repro.domains import FsLoggingMode, RecoverableFileSystem
+
+
+@pytest.fixture
+def fs():
+    system = RecoverableSystem()
+    return RecoverableFileSystem(system)
+
+
+class TestPrimitives:
+    def test_write_and_read(self, fs):
+        fs.write_file("a", b"data")
+        assert fs.read_file("a") == b"data"
+        assert fs.exists("a")
+
+    def test_missing_file(self, fs):
+        assert fs.read_file("ghost") is None
+        assert not fs.exists("ghost")
+
+    def test_overwrite(self, fs):
+        fs.write_file("a", b"one")
+        fs.write_file("a", b"two")
+        assert fs.read_file("a") == b"two"
+
+    def test_append(self, fs):
+        fs.write_file("a", b"head")
+        fs.append("a", b"-tail")
+        assert fs.read_file("a") == b"head-tail"
+
+    def test_append_to_missing_creates(self, fs):
+        fs.append("new", b"x")
+        assert fs.read_file("new") == b"x"
+
+    def test_delete(self, fs):
+        fs.write_file("a", b"data")
+        fs.delete("a")
+        assert not fs.exists("a")
+
+
+class TestDerivedFiles:
+    def test_copy(self, fs):
+        fs.write_file("src", b"content")
+        fs.copy("src", "dst")
+        assert fs.read_file("dst") == b"content"
+
+    def test_sort(self, fs):
+        fs.write_file("src", b"dcba")
+        fs.sort("src", "sorted")
+        assert fs.read_file("sorted") == b"abcd"
+
+    def test_concat(self, fs):
+        fs.write_file("a", b"one-")
+        fs.write_file("b", b"two")
+        fs.concat(["a", "b"], "joined")
+        assert fs.read_file("joined") == b"one-two"
+
+    def test_copy_missing_source_logical(self, fs):
+        # Logical copy of a missing file fails at execution time.
+        with pytest.raises(Exception):
+            fs.copy("ghost", "dst")
+
+
+class TestLoggingModes:
+    def test_logical_logs_no_values_for_copy(self):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system, mode=FsLoggingMode.LOGICAL)
+        fs.write_file("src", b"z" * 8192)
+        before = system.stats.log_value_bytes
+        fs.copy("src", "dst")
+        fs.sort("src", "sorted")
+        assert system.stats.log_value_bytes == before
+
+    def test_physical_logs_whole_output(self):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system, mode=FsLoggingMode.PHYSICAL)
+        fs.write_file("src", b"z" * 8192)
+        before = system.stats.log_value_bytes
+        fs.copy("src", "dst")
+        assert system.stats.log_value_bytes - before >= 8192
+
+    def test_physical_copy_missing_raises(self):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system, mode=FsLoggingMode.PHYSICAL)
+        with pytest.raises(FileNotFoundError):
+            fs.copy("ghost", "dst")
+
+    @pytest.mark.parametrize("mode", list(FsLoggingMode))
+    def test_modes_agree_on_values(self, mode):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system, mode=mode)
+        fs.write_file("src", b"hello world")
+        fs.copy("src", "copy")
+        fs.sort("src", "sorted")
+        assert fs.read_file("copy") == b"hello world"
+        assert fs.read_file("sorted") == bytes(sorted(b"hello world"))
+
+
+class TestRecovery:
+    def test_derivation_chain_recovers(self):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system)
+        fs.write_file("a", b"chain")
+        fs.copy("a", "b")
+        fs.sort("b", "c")
+        fs.concat(["a", "c"], "d")
+        system.log.force()
+        for _ in range(2):
+            system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        fs2 = RecoverableFileSystem(system)
+        assert fs2.read_file("d") == b"chain" + bytes(sorted(b"chain"))
+
+    def test_deleted_files_stay_deleted(self):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system)
+        fs.write_file("tmp", b"scratch")
+        fs.sort("tmp", "out")
+        fs.delete("tmp")
+        system.log.force()
+        system.flush_all()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        fs2 = RecoverableFileSystem(system)
+        assert not fs2.exists("tmp")
+        assert fs2.read_file("out") == bytes(sorted(b"scratch"))
+
+    def test_object_id_namespacing(self, fs):
+        assert fs.object_id("x") == "file:x"

@@ -1,0 +1,100 @@
+"""Tests for the physiological KV page store (repro.domains.kvstore)."""
+
+import pytest
+
+from repro import GraphMode, RecoverableSystem, verify_recovered
+from repro.domains import KVPageStore
+
+
+@pytest.fixture
+def kv():
+    return KVPageStore(RecoverableSystem(), pages=4)
+
+
+class TestBasics:
+    def test_put_get(self, kv):
+        kv.put("k", "v")
+        assert kv.get("k") == "v"
+        assert kv.get("missing") is None
+
+    def test_overwrite(self, kv):
+        kv.put("k", "one")
+        kv.put("k", "two")
+        assert kv.get("k") == "two"
+
+    def test_remove(self, kv):
+        kv.put("k", "v")
+        kv.remove("k")
+        assert kv.get("k") is None
+
+    def test_remove_missing_is_noop(self, kv):
+        kv.remove("ghost")
+
+    def test_keys_scan(self, kv):
+        for key in ("a", "b", "c"):
+            kv.put(key, key)
+        assert kv.keys() == ["a", "b", "c"]
+
+    def test_page_partitioning_deterministic(self, kv):
+        assert kv.page_of("k") == kv.page_of("k")
+
+    def test_pages_validation(self):
+        with pytest.raises(ValueError, match="at least one page"):
+            KVPageStore(RecoverableSystem(), pages=0)
+
+
+class TestDegenerateWriteGraph:
+    def test_all_flush_sets_singletons(self):
+        """Physiological ops: rW degenerates to one node per page with
+        no flush-order edges — the paper's classic-database case."""
+        system = RecoverableSystem()
+        kv = KVPageStore(system, pages=8)
+        for index in range(40):
+            kv.put(index, index)
+        graph = system.cache.write_graph()
+        assert all(len(n.vars) == 1 for n in graph.nodes)
+        assert list(graph.edges()) == []
+        # Every node is immediately flushable, in any order.
+        assert len(graph.minimal_nodes()) == len(graph.nodes)
+
+
+class TestRecovery:
+    def test_crash_recover(self):
+        system = RecoverableSystem()
+        kv = KVPageStore(system, pages=4)
+        for index in range(50):
+            kv.put(index, f"v{index}")
+        kv.remove(10)
+        system.log.force()
+        for _ in range(3):
+            system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        recovered = KVPageStore(system, pages=4)
+        assert recovered.get(7) == "v7"
+        assert recovered.get(10) is None
+
+    def test_w_and_rw_agree(self):
+        from repro import CacheConfig, MultiObjectStrategy, SystemConfig
+        from repro.storage import ShadowInstall
+
+        states = {}
+        for graph_mode in (GraphMode.RW, GraphMode.W):
+            config = SystemConfig(
+                cache=CacheConfig(
+                    graph_mode=graph_mode,
+                    multi_object_strategy=MultiObjectStrategy.ATOMIC,
+                    mechanism=ShadowInstall(),
+                )
+            )
+            system = RecoverableSystem(config)
+            kv = KVPageStore(system, pages=4)
+            for index in range(30):
+                kv.put(index, f"v{index}")
+            system.flush_all()
+            system.crash()
+            system.recover()
+            verify_recovered(system)
+            states[graph_mode] = system.stable_values()
+        assert states[GraphMode.RW] == states[GraphMode.W]

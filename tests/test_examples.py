@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion and prints OK."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=lambda s: s.name
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout

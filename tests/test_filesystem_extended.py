@@ -1,0 +1,115 @@
+"""Tests for the extended file-system features: truncate, rename, and
+the recoverable directory object."""
+
+import pytest
+
+from repro import RecoverableSystem, verify_recovered
+from repro.domains import FsLoggingMode, RecoverableFileSystem
+
+
+@pytest.fixture
+def fs():
+    return RecoverableFileSystem(RecoverableSystem(), track_directory=True)
+
+
+class TestTruncate:
+    def test_truncate_shortens(self, fs):
+        fs.write_file("a", b"0123456789")
+        fs.truncate("a", 4)
+        assert fs.read_file("a") == b"0123"
+
+    def test_truncate_beyond_length_is_noop(self, fs):
+        fs.write_file("a", b"abc")
+        fs.truncate("a", 100)
+        assert fs.read_file("a") == b"abc"
+
+    def test_truncate_missing_raises(self, fs):
+        with pytest.raises(Exception):
+            fs.truncate("ghost", 1)
+
+    def test_truncate_logs_no_values(self, fs):
+        fs.write_file("a", b"x" * 4096)
+        before = fs.system.stats.log_value_bytes
+        fs.truncate("a", 10)
+        assert fs.system.stats.log_value_bytes == before
+
+
+class TestRename:
+    def test_rename_moves_content(self, fs):
+        fs.write_file("old", b"content")
+        fs.rename("old", "new")
+        assert not fs.exists("old")
+        assert fs.read_file("new") == b"content"
+
+    def test_rename_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.rename("ghost", "x")
+
+    def test_rename_logical_logs_no_values(self, fs):
+        fs.write_file("old", b"z" * 8192)
+        before = fs.system.stats.log_value_bytes
+        fs.rename("old", "new")
+        # Tombstone aside (1 byte), the 8 KiB content was never logged.
+        assert fs.system.stats.log_value_bytes - before <= 2
+
+    def test_rename_physical_mode(self):
+        fs = RecoverableFileSystem(
+            RecoverableSystem(), mode=FsLoggingMode.PHYSICAL
+        )
+        fs.write_file("old", b"data")
+        fs.rename("old", "new")
+        assert fs.read_file("new") == b"data"
+
+    def test_rename_survives_crash(self, fs):
+        system = fs.system
+        fs.write_file("old", b"payload")
+        fs.rename("old", "new")
+        system.log.force()
+        system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        recovered = RecoverableFileSystem(system, track_directory=True)
+        assert recovered.read_file("new") == b"payload"
+        assert not recovered.exists("old")
+
+
+class TestDirectory:
+    def test_listing_tracks_creates_and_deletes(self, fs):
+        fs.write_file("a", b"1")
+        fs.write_file("b", b"2")
+        fs.copy("a", "c")
+        assert fs.list_files() == ["a", "b", "c"]
+        fs.delete("b")
+        assert fs.list_files() == ["a", "c"]
+
+    def test_rename_updates_listing(self, fs):
+        fs.write_file("a", b"1")
+        fs.rename("a", "z")
+        assert fs.list_files() == ["z"]
+
+    def test_listing_disabled_raises(self):
+        fs = RecoverableFileSystem(RecoverableSystem())
+        with pytest.raises(ValueError, match="directory tracking"):
+            fs.list_files()
+
+    def test_listing_survives_crash(self, fs):
+        system = fs.system
+        fs.write_file("a", b"1")
+        fs.sort("a", "a.sorted")
+        fs.write_file("tmp", b"2")
+        fs.delete("tmp")
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        recovered = RecoverableFileSystem(system, track_directory=True)
+        assert recovered.list_files() == ["a", "a.sorted"]
+
+    def test_directory_updates_log_names_not_contents(self, fs):
+        fs.write_file("big", b"x" * 16384)
+        records_before = fs.system.stats.log_records
+        bytes_before = fs.system.stats.log_bytes
+        fs.copy("big", "big2")  # 1 copy record + 1 dir record
+        assert fs.system.stats.log_records - records_before == 2
+        assert fs.system.stats.log_bytes - bytes_before < 512

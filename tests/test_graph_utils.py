@@ -1,0 +1,72 @@
+"""Unit tests for graph helpers (repro.core.graph_utils)."""
+
+from repro.core.graph_utils import UnionFind, strongly_connected_components
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        finder = UnionFind()
+        finder.add("a")
+        finder.add("b")
+        assert finder.find("a") != finder.find("b")
+        assert sorted(map(sorted, finder.classes())) == [["a"], ["b"]]
+
+    def test_union_merges(self):
+        finder = UnionFind()
+        finder.union("a", "b")
+        finder.union("b", "c")
+        assert finder.find("a") == finder.find("c")
+        assert len(finder.classes()) == 1
+
+    def test_find_adds_implicitly(self):
+        finder = UnionFind()
+        assert finder.find("new") == "new"
+
+    def test_disjoint_groups(self):
+        finder = UnionFind()
+        finder.union(1, 2)
+        finder.union(3, 4)
+        finder.add(5)
+        classes = sorted(map(sorted, finder.classes()))
+        assert classes == [[1, 2], [3, 4], [5]]
+
+
+class TestSCC:
+    def test_acyclic_all_singletons(self):
+        succ = {"a": {"b"}, "b": {"c"}, "c": set()}
+        sccs = strongly_connected_components(["a", "b", "c"], succ)
+        assert sorted(map(sorted, sccs)) == [["a"], ["b"], ["c"]]
+
+    def test_two_cycle(self):
+        succ = {"a": {"b"}, "b": {"a"}}
+        sccs = strongly_connected_components(["a", "b"], succ)
+        assert sorted(map(sorted, sccs)) == [["a", "b"]]
+
+    def test_cycle_plus_tail(self):
+        succ = {"a": {"b"}, "b": {"c"}, "c": {"a"}, "d": {"a"}}
+        sccs = strongly_connected_components(["a", "b", "c", "d"], succ)
+        groups = sorted(map(sorted, sccs))
+        assert ["a", "b", "c"] in groups
+        assert ["d"] in groups
+
+    def test_self_loop_is_singleton_scc(self):
+        succ = {"a": {"a"}}
+        sccs = strongly_connected_components(["a"], succ)
+        assert sccs == [{"a"}]
+
+    def test_emission_order_reverse_topological(self):
+        # Tarjan emits SCCs so that successors come before predecessors.
+        succ = {"a": {"b"}, "b": set()}
+        sccs = strongly_connected_components(["a", "b"], succ)
+        assert sccs.index({"b"}) < sccs.index({"a"})
+
+    def test_missing_successor_entries_tolerated(self):
+        sccs = strongly_connected_components(["a", "b"], {"a": {"b"}})
+        assert len(sccs) == 2
+
+    def test_large_chain_no_recursion_limit(self):
+        n = 5000
+        succ = {i: {i + 1} for i in range(n)}
+        succ[n] = set()
+        sccs = strongly_connected_components(list(range(n + 1)), succ)
+        assert len(sccs) == n + 1

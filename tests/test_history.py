@@ -1,0 +1,71 @@
+"""Unit tests for histories and conflict structure (repro.core.history)."""
+
+from repro.core.history import History
+from repro.core.operation import Operation, OpKind
+
+
+def _op(name, reads, writes):
+    return Operation(
+        name, OpKind.LOGICAL, reads=set(reads), writes=set(writes), fn="f"
+    )
+
+
+class TestAppend:
+    def test_op_ids_positional(self):
+        history = History()
+        a = history.append(_op("a", [], ["x"]))
+        b = history.append(_op("b", ["x"], ["y"]))
+        assert (a.op_id, b.op_id) == (0, 1)
+        assert len(history) == 2
+        assert history[1] is b
+
+    def test_constructor_appends(self):
+        ops = [_op("a", [], ["x"]), _op("b", [], ["y"])]
+        history = History(ops)
+        assert history.operations == tuple(ops)
+
+
+class TestIndexes:
+    def test_writers_and_readers(self):
+        history = History()
+        a = history.append(_op("a", [], ["x"]))
+        b = history.append(_op("b", ["x"], ["x", "y"]))
+        assert history.writers_of("x") == [a, b]
+        assert history.readers_of("x") == [b]
+        assert history.writers_of("ghost") == []
+
+    def test_last_writer(self):
+        history = History()
+        a = history.append(_op("a", [], ["x"]))
+        b = history.append(_op("b", ["x"], ["x"]))
+        assert history.last_writer("x") is b
+        assert history.last_writer("x", within={a}) is a
+        assert history.last_writer("x", within=set()) is None
+
+    def test_accessors_in_order(self):
+        history = History()
+        a = history.append(_op("a", [], ["x"]))
+        b = history.append(_op("b", ["x"], ["y"]))
+        c = history.append(_op("c", [], ["x"]))
+        assert history.accessors_in_order("x") == [a, b, c]
+
+
+class TestConflictEdges:
+    def test_edges_only_for_conflicts(self):
+        history = History()
+        a = history.append(_op("a", [], ["x"]))
+        b = history.append(_op("b", [], ["y"]))
+        c = history.append(_op("c", ["x", "y"], ["z"]))
+        edges = set(
+            (src.name, dst.name) for src, dst in history.conflict_edges()
+        )
+        assert edges == {("a", "c"), ("b", "c")}
+
+
+class TestPrefix:
+    def test_prefix_copies_first_n(self):
+        history = History()
+        ops = [history.append(_op(f"o{i}", [], ["x"])) for i in range(4)]
+        sub = history.prefix(2)
+        assert list(sub) == ops[:2]
+        assert len(sub) == 2

@@ -1,0 +1,133 @@
+"""Tests for cache-manager-initiated identity writes (Section 4)."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheManager, MultiObjectStrategy
+from repro.core.functions import default_registry
+from repro.core.operation import Operation, OpKind
+from repro.storage import FlushTransaction, IOStats, ShadowInstall, StableStore
+from repro.wal.log_manager import LogManager
+
+
+def _multi_write_op():
+    """An operation writing two objects at once: Y=f(X,Y) style merge
+    producing a two-object atomic flush set."""
+    return Operation(
+        "pair", OpKind.LOGICAL, reads=set(), writes={"x", "y"}, fn="pair"
+    )
+
+
+def _cm(config=None):
+    stats = IOStats()
+    store = StableStore(stats)
+    log = LogManager(stats)
+    registry = default_registry()
+    registry.register("pair", lambda reads: {"x": b"X", "y": b"Y"})
+    cm = CacheManager(store, log, registry, config, stats)
+    return cm, store, log, stats
+
+
+class TestDissolution:
+    def test_identity_writes_break_up_flush_set(self):
+        cm, store, log, stats = _cm()  # default: identity writes
+        cm.execute(_multi_write_op())
+        assert cm.purge()
+        # One identity write peeled one object; no atomic flush needed.
+        assert stats.identity_writes == 1
+        assert stats.atomic_flushes == 0
+
+    def test_values_correct_after_full_drain(self):
+        cm, store, log, stats = _cm()
+        cm.execute(_multi_write_op())
+        cm.flush_all()
+        assert store.read("x").value == b"X"
+        assert store.read("y").value == b"Y"
+
+    def test_identity_write_logs_the_value(self):
+        cm, store, log, stats = _cm()
+        cm.execute(_multi_write_op())
+        before = stats.log_value_bytes
+        cm.purge()
+        # The peeled object's value went to the log (physical record).
+        assert stats.log_value_bytes > before
+
+    def test_only_single_object_device_writes(self):
+        cm, store, log, stats = _cm()
+        cm.execute(_multi_write_op())
+        cm.flush_all()
+        # No shadow machinery, no pointer swings, no quiesce.
+        assert stats.shadow_writes == 0
+        assert stats.pointer_swings == 0
+        assert stats.quiesce_events == 0
+
+
+class TestAtomicAlternatives:
+    def test_shadow_used_when_configured(self):
+        config = CacheConfig(
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=ShadowInstall(),
+        )
+        cm, store, log, stats = _cm(config)
+        cm.execute(_multi_write_op())
+        cm.flush_all()
+        assert stats.atomic_flushes == 1
+        assert stats.identity_writes == 0
+        assert stats.pointer_swings == 1
+
+    def test_flush_txn_used_when_configured(self):
+        config = CacheConfig(
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=FlushTransaction(),
+        )
+        cm, store, log, stats = _cm(config)
+        cm.execute(_multi_write_op())
+        cm.flush_all()
+        assert stats.atomic_flushes == 1
+        assert stats.quiesce_events == 1
+        # Both objects logged + both written in place = 2x writes.
+        assert stats.object_writes == 2
+        assert stats.log_value_bytes >= 2
+
+
+class TestCostComparison:
+    def test_identity_cheaper_in_logged_values_for_pairs(self):
+        """Section 4: 'we write log two object values when flushing
+        atomically [flush transaction], but only one object value when
+        using CM initiated writes'."""
+        id_cm, _, _, id_stats = _cm()
+        id_cm.execute(_multi_write_op())
+        id_cm.flush_all()
+
+        ft_config = CacheConfig(
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=FlushTransaction(),
+        )
+        ft_cm, _, _, ft_stats = _cm(ft_config)
+        ft_cm.execute(_multi_write_op())
+        ft_cm.flush_all()
+
+        assert id_stats.log_value_bytes < ft_stats.log_value_bytes
+        assert id_stats.quiesce_events < ft_stats.quiesce_events
+
+
+class TestIdentityWriteRecovery:
+    def test_crash_after_partial_install_recovers(self):
+        """Install the dissolved node (flushing one object), crash
+        before the identity-write node flushes: the logged identity
+        value recovers the unflushed object."""
+        from repro.core.recovery import RecoveryManager
+        from repro.core.redo import GeneralizedRedoTest
+
+        cm, store, log, stats = _cm()
+        cm.execute(_multi_write_op())
+        cm.purge()  # dissolves and installs the first node only
+        log.crash()  # lose any lazy records still buffered
+        manager = RecoveryManager(
+            log, store, cm.registry, GeneralizedRedoTest(), stats
+        )
+        outcome = manager.run()
+        state = {
+            obj: outcome.volatile.get(obj, (store.peek(obj).value, 0))[0]
+            for obj in ("x", "y")
+        }
+        assert state == {"x": b"X", "y": b"Y"}

@@ -1,0 +1,98 @@
+"""Unit tests for the installation graph (repro.core.installation_graph)."""
+
+from repro.core.history import History
+from repro.core.installation_graph import InstallationGraph, WriteWritePolicy
+from repro.core.operation import Operation, OpKind
+
+
+def _op(name, reads, writes):
+    return Operation(
+        name, OpKind.LOGICAL, reads=set(reads), writes=set(writes), fn="f"
+    )
+
+
+def _fig1_history():
+    """Figure 1(a): A reads {X,Y} writes Y; B reads {Y} writes X."""
+    history = History()
+    a = history.append(_op("A", ["X", "Y"], ["Y"]))
+    b = history.append(_op("B", ["Y"], ["X"]))
+    return history, a, b
+
+
+class TestReadWriteEdges:
+    def test_figure1_edge_a_to_b(self):
+        history, a, b = _fig1_history()
+        graph = InstallationGraph(list(history))
+        # A read X which B writes: A must install before B.
+        assert graph.successors(a) == {b}
+        assert graph.predecessors(b) == {a}
+
+    def test_write_read_edges_discarded(self):
+        history = History()
+        w = history.append(_op("w", [], ["x"]))
+        r = history.append(_op("r", ["x"], ["y"]))
+        graph = InstallationGraph(list(history))
+        # w wrote x, r read it later: that is a write-read edge, dropped.
+        assert graph.successors(w) == set()
+        assert graph.predecessors(r) == set()
+
+
+class TestWriteWritePolicies:
+    def test_repeat_history_drops_write_write(self):
+        history = History()
+        first = history.append(_op("w1", [], ["x"]))
+        second = history.append(_op("w2", [], ["x"]))
+        graph = InstallationGraph(
+            list(history), WriteWritePolicy.REPEAT_HISTORY
+        )
+        assert graph.successors(first) == set()
+
+    def test_conservative_keeps_write_write(self):
+        history = History()
+        first = history.append(_op("w1", [], ["x"]))
+        second = history.append(_op("w2", [], ["x"]))
+        graph = InstallationGraph(
+            list(history), WriteWritePolicy.CONSERVATIVE
+        )
+        assert graph.successors(first) == {second}
+
+
+class TestMinimalOperations:
+    def test_initially_roots_are_minimal(self):
+        history, a, b = _fig1_history()
+        graph = InstallationGraph(list(history))
+        assert graph.minimal_operations() == [a]
+
+    def test_excluding_installed(self):
+        history, a, b = _fig1_history()
+        graph = InstallationGraph(list(history))
+        assert graph.minimal_operations(excluding={a}) == [b]
+
+    def test_installation_order_is_topological(self):
+        history = History()
+        ops = [
+            history.append(_op("a", [], ["x"])),
+            history.append(_op("b", ["x"], ["y"])),
+            history.append(_op("c", ["y"], ["x"])),
+        ]
+        graph = InstallationGraph(list(history))
+        order = graph.installation_order()
+        for src, dst in graph.edges():
+            assert order.index(src) < order.index(dst)
+
+
+class TestMust:
+    def test_must_is_later_overlapping_writers(self):
+        history = History()
+        a = history.append(_op("a", [], ["x", "y"]))
+        b = history.append(_op("b", [], ["x"]))
+        c = history.append(_op("c", [], ["z"]))
+        graph = InstallationGraph(list(history))
+        assert graph.must(a) == {b}
+        assert graph.must(b) == set()
+
+    def test_contains_and_len(self):
+        history, a, b = _fig1_history()
+        graph = InstallationGraph(list(history))
+        assert a in graph
+        assert len(graph) == 2

@@ -1,0 +1,151 @@
+"""Cross-module integration scenarios: multiple domains on one system,
+checkpoint/truncate under load, eviction pressure, and recovery counts.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    GeneralizedRedoTest,
+    RecoverableSystem,
+    SystemConfig,
+    VsiRedoTest,
+    verify_recovered,
+)
+from repro.domains import (
+    ApplicationRuntime,
+    KVPageStore,
+    RecoverableBTree,
+    RecoverableFileSystem,
+)
+from repro.workloads import register_workload_functions
+from tests.conftest import physical
+
+
+class TestMultiDomain:
+    def test_domains_share_one_system(self):
+        """An application reads a file, the result is indexed in a
+        B-tree and mirrored in the KV store — one log, one cache, one
+        recovery pass across all of it."""
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system)
+        app = ApplicationRuntime(system, "app:etl", program="checksum")
+        tree = RecoverableBTree(system, capacity=4)
+        kv = KVPageStore(system, pages=4)
+
+        for index in range(5):
+            fs.write_file(f"doc{index}", f"document {index}".encode() * 20)
+            app.run_pipeline(
+                fs.object_id(f"doc{index}"), fs.object_id(f"sum{index}")
+            )
+            digest = fs.read_file(f"sum{index}")
+            tree.insert(index, digest)
+            kv.put(f"sum{index}", digest)
+
+        system.log.force()
+        for _ in range(8):
+            system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+        tree2 = RecoverableBTree(system, capacity=4)
+        kv2 = KVPageStore(system, pages=4)
+        fs2 = RecoverableFileSystem(system)
+        for index in range(5):
+            assert tree2.lookup(index) == fs2.read_file(f"sum{index}")
+            assert kv2.get(f"sum{index}") == fs2.read_file(f"sum{index}")
+
+
+class TestCheckpointUnderLoad:
+    def test_periodic_checkpoint_and_truncate(self):
+        system = RecoverableSystem()
+        kv = KVPageStore(system, pages=4)
+        for index in range(60):
+            kv.put(index % 10, f"v{index}")
+            if index % 10 == 9:
+                system.flush_all()
+                system.checkpoint(truncate=True)
+        # The truncated log is much shorter than 60+ records.
+        stable = list(system.log.stable_records())
+        assert len(stable) < 30
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_truncation_never_loses_uninstalled(self):
+        system = RecoverableSystem()
+        register_workload_functions(system.registry)
+        kv = KVPageStore(system, pages=2)
+        kv.put("a", "1")
+        system.flush_all()
+        kv.put("b", "2")  # uninstalled
+        system.checkpoint(truncate=True)
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        assert KVPageStore(system, pages=2).get("b") == "2"
+
+
+class TestEvictionPressure:
+    def test_steal_policy_roundtrip(self):
+        """Evict (steal) cold objects under a small-cache discipline,
+        then crash: read-through plus recovery must reconstruct all."""
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system)
+        rng = random.Random(3)
+        for index in range(20):
+            fs.write_file(f"f{index}", bytes([rng.randrange(256)]) * 64)
+            if index % 5 == 4:
+                # Make a few files clean and evict them.
+                for victim in range(index - 2, index):
+                    name = fs.object_id(f"f{victim}")
+                    system.cache.make_clean(name)
+                    system.cache.evict(name)
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+
+class TestRecoveryCounts:
+    def test_rsi_skips_at_least_as_much_as_vsi(self):
+        """The generalized test never redoes more than the vSI test on
+        the same stable image."""
+
+        def run(test):
+            system = RecoverableSystem(SystemConfig(redo_test=test))
+            register_workload_functions(system.registry)
+            fs = RecoverableFileSystem(system)
+            for index in range(6):
+                fs.write_file(f"t{index}", b"x" * 256)
+                fs.sort(f"t{index}", f"s{index}")
+                if index % 2 == 0:
+                    fs.delete(f"t{index}")
+                    fs.delete(f"s{index}")
+            system.log.force()
+            for _ in range(5):
+                system.purge()
+            system.crash()
+            report = system.recover()
+            verify_recovered(system)
+            return report
+
+        vsi_report = run(VsiRedoTest())
+        rsi_report = run(GeneralizedRedoTest())
+        assert rsi_report.ops_redone <= vsi_report.ops_redone
+
+    def test_report_counters_consistent(self):
+        system = RecoverableSystem()
+        fs = RecoverableFileSystem(system)
+        fs.write_file("a", b"1")
+        fs.copy("a", "b")
+        system.log.force()
+        system.purge()
+        system.crash()
+        report = system.recover()
+        assert (
+            report.ops_considered
+            == report.ops_redone + report.skipped() + report.ops_voided
+        )

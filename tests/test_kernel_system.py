@@ -1,0 +1,149 @@
+"""Tests for the RecoverableSystem facade (repro.kernel.system)."""
+
+import pytest
+
+from repro import (
+    GeneralizedRedoTest,
+    Operation,
+    OpKind,
+    RecoverableSystem,
+    SystemConfig,
+    VsiRedoTest,
+    verify_recovered,
+)
+from tests.conftest import logical, physical
+
+
+class TestLifecycle:
+    def test_execute_and_read(self, system):
+        system.execute(physical("x", b"v"))
+        assert system.read("x") == b"v"
+        assert len(system.history) == 1
+
+    def test_crash_blocks_access(self, system):
+        system.execute(physical("x", b"v"))
+        system.crash()
+        with pytest.raises(RuntimeError, match="crashed"):
+            system.read("x")
+        with pytest.raises(RuntimeError, match="crashed"):
+            system.execute(physical("y", b"w"))
+        system.recover()
+        system.execute(physical("y", b"w"))  # works again
+
+    def test_peek_works_while_crashed(self, system):
+        system.execute(physical("x", b"v"))
+        system.flush_all()
+        system.crash()
+        assert system.peek("x") == b"v"
+
+
+class TestDurability:
+    def test_unforced_operations_are_lost(self, system):
+        system.execute(physical("x", b"v"))
+        lost = system.crash()
+        assert len(lost) == 1
+        system.recover()
+        assert len(system.history) == 0
+        assert system.read("x") is None
+
+    def test_forced_operations_survive(self, system):
+        op = physical("x", b"v")
+        system.execute(op)
+        system.log.force()
+        lost = system.crash()
+        assert lost == []
+        system.recover()
+        assert system.read("x") == b"v"
+        assert list(system.history) == [op]
+
+    def test_flushed_operations_survive_without_force(self, system):
+        # flush_all itself forces the needed log prefix (WAL).
+        system.execute(physical("x", b"v"))
+        system.flush_all()
+        system.crash()
+        system.recover()
+        assert system.read("x") == b"v"
+
+
+class TestRecoveryCycles:
+    def test_work_continues_across_recoveries(self, system):
+        system.execute(physical("x", b"1"))
+        system.log.force()
+        system.crash()
+        system.recover()
+        system.execute(logical("cp", "copy", {"x"}, {"y"}, ("x", "y")))
+        system.flush_all()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        assert system.read("y") == b"1"
+
+    def test_truncated_history_still_verifies(self, system):
+        system.execute(physical("x", b"1"))
+        system.flush_all()
+        system.checkpoint(truncate=True)
+        system.execute(logical("cp", "copy", {"x"}, {"y"}, ("x", "y")))
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        assert system.read("y") == b"1"
+
+    def test_last_report_retained(self, system):
+        system.execute(physical("x", b"v"))
+        system.log.force()
+        system.crash()
+        report = system.recover()
+        assert system.last_report is report
+        assert report.ops_redone == 1
+
+
+class TestConfigs:
+    def test_redo_test_configurable(self):
+        system = RecoverableSystem(SystemConfig(redo_test=VsiRedoTest()))
+        system.execute(physical("x", b"v"))
+        system.flush_all()
+        system.crash()
+        report = system.recover()
+        assert report.ops_skipped_installed == 1
+
+    def test_default_is_generalized(self):
+        system = RecoverableSystem()
+        assert isinstance(system.config.redo_test, GeneralizedRedoTest)
+
+
+class TestVerifier:
+    def test_detects_corruption(self, system):
+        system.execute(physical("x", b"good"))
+        system.flush_all()
+        system.crash()
+        system.recover()
+        # Corrupt the stable store behind the system's back.
+        system.store.write("x", b"evil", 999)
+        system.cache.evict("x")
+        from repro import VerificationError
+
+        with pytest.raises(VerificationError, match="disagrees"):
+            verify_recovered(system)
+
+    def test_deleted_objects_verified_absent(self, system):
+        from repro.core.operation import delete_object
+
+        system.execute(physical("x", b"v"))
+        system.execute(delete_object("x"))
+        system.flush_all()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_all_cache_configs_roundtrip(self, any_cache_system):
+        system = any_cache_system
+        system.execute(physical("x", b"hello"))
+        system.execute(logical("cp", "copy", {"x"}, {"y"}, ("x", "y")))
+        system.execute(physical("x", b"world"))
+        system.flush_all()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        assert system.read("y") == b"hello"
+        assert system.read("x") == b"world"

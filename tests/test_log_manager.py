@@ -1,0 +1,160 @@
+"""Unit tests for the WAL log manager (repro.wal.log_manager)."""
+
+import pytest
+
+from repro.common.errors import LogTruncationError, WALViolationError
+from repro.common.identifiers import NULL_SI
+from repro.core.operation import Operation, OpKind
+from repro.storage import IOStats
+from repro.wal.log_manager import LogManager
+from repro.wal.records import CheckpointRecord, LogRecord
+
+
+def _op(name: str = "op") -> Operation:
+    return Operation(
+        name,
+        OpKind.PHYSICAL,
+        reads=set(),
+        writes={"x"},
+        payload={"x": b"v"},
+    )
+
+
+class TestAppend:
+    def test_lsis_monotonic_from_one(self):
+        log = LogManager()
+        first = log.append(LogRecord())
+        second = log.append(LogRecord())
+        assert first == NULL_SI + 1
+        assert second == first + 1
+
+    def test_append_operation_sets_op_lsi(self):
+        log = LogManager()
+        op = _op()
+        lsi = log.append_operation(op)
+        assert op.lsi == lsi
+
+    def test_accounting(self):
+        stats = IOStats()
+        log = LogManager(stats)
+        log.append_operation(_op())
+        assert stats.log_records == 1
+        assert stats.log_bytes > 0
+        assert stats.log_value_bytes == 1  # the one payload byte
+
+
+class TestForce:
+    def test_records_volatile_until_forced(self):
+        log = LogManager()
+        lsi = log.append(LogRecord())
+        assert not log.is_stable(lsi)
+        log.force()
+        assert log.is_stable(lsi)
+
+    def test_force_through_prefix_only(self):
+        log = LogManager()
+        first = log.append(LogRecord())
+        second = log.append(LogRecord())
+        third = log.append(LogRecord())
+        log.force_through(second)
+        assert log.is_stable(first)
+        assert log.is_stable(second)
+        assert not log.is_stable(third)
+        assert log.buffered_lsis() == [third]
+
+    def test_force_counts_only_when_work_done(self):
+        stats = IOStats()
+        log = LogManager(stats)
+        log.force()
+        assert stats.log_forces == 0
+        log.append(LogRecord())
+        log.force()
+        log.force()
+        assert stats.log_forces == 1
+
+    def test_force_through_before_buffer_is_noop(self):
+        log = LogManager()
+        lsi = log.append(LogRecord())
+        log.force()
+        log.append(LogRecord())
+        log.force_through(lsi)  # already stable; nothing to do
+        assert len(log.buffered_lsis()) == 1
+
+    def test_assert_stable(self):
+        log = LogManager()
+        lsi = log.append(LogRecord())
+        with pytest.raises(WALViolationError):
+            log.assert_stable(lsi)
+        log.force()
+        log.assert_stable(lsi)
+        log.assert_stable(NULL_SI)  # the null SI is vacuously stable
+
+
+class TestCrash:
+    def test_crash_drops_buffer_keeps_stable(self):
+        log = LogManager()
+        first = log.append(LogRecord())
+        log.force()
+        second = log.append(LogRecord())
+        log.crash()
+        assert log.is_stable(first)
+        assert [r.lsi for r in log.stable_records()] == [first]
+        assert log.buffered_lsis() == []
+        # The lost lSI is never reused.
+        third = log.append(LogRecord())
+        assert third > second
+
+
+class TestReading:
+    def test_stable_records_from_lsi(self):
+        log = LogManager()
+        lsis = [log.append(LogRecord()) for _ in range(4)]
+        log.force()
+        got = [r.lsi for r in log.stable_records(from_lsi=lsis[2])]
+        assert got == lsis[2:]
+
+    def test_end_and_start_lsi(self):
+        log = LogManager()
+        assert log.stable_end_lsi() == NULL_SI
+        lsis = [log.append(LogRecord()) for _ in range(3)]
+        log.force()
+        assert log.stable_end_lsi() == lsis[-1]
+        assert log.stable_start_lsi() == lsis[0]
+
+
+class TestTruncation:
+    def test_truncate_discards_prefix(self):
+        log = LogManager()
+        lsis = [log.append(LogRecord()) for _ in range(5)]
+        log.force()
+        dropped = log.truncate_before(lsis[2], redo_start=lsis[3])
+        assert dropped == 2
+        assert [r.lsi for r in log.stable_records()] == lsis[2:]
+
+    def test_truncated_lsis_count_as_stable(self):
+        log = LogManager()
+        lsis = [log.append(LogRecord()) for _ in range(3)]
+        log.force()
+        log.truncate_before(lsis[2], redo_start=lsis[2])
+        assert log.is_stable(lsis[0])
+
+    def test_truncation_past_redo_start_refused(self):
+        log = LogManager()
+        lsis = [log.append(LogRecord()) for _ in range(3)]
+        log.force()
+        with pytest.raises(LogTruncationError):
+            log.truncate_before(lsis[2], redo_start=lsis[1])
+
+
+class TestFlushTransactionProtocol:
+    def test_append_flush_transaction(self):
+        from repro.storage.stable_store import StoredVersion
+
+        log = LogManager()
+        commit_lsi = log.append_flush_transaction(
+            {"a": StoredVersion(b"v", 9)}
+        )
+        log.force()
+        records = list(log.stable_records())
+        assert records[-1].lsi == commit_lsi
+        assert len(records) == 2  # values + commit

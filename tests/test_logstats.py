@@ -1,0 +1,54 @@
+"""Tests for log composition analytics (repro.analysis.logstats)."""
+
+from repro import RecoverableSystem
+from repro.analysis import analyze_log
+from repro.domains import RecoverableFileSystem
+from tests.conftest import logical, physical
+
+
+def _loaded_system():
+    system = RecoverableSystem()
+    fs = RecoverableFileSystem(system)
+    fs.write_file("a", b"x" * 1000)
+    fs.copy("a", "b")
+    fs.sort("a", "c")
+    system.flush_all()
+    system.checkpoint()
+    return system
+
+
+class TestAnalyzeLog:
+    def test_empty_log(self):
+        breakdown = analyze_log(RecoverableSystem().log)
+        assert breakdown.total_bytes() == 0
+        assert breakdown.overhead_fraction() == 0.0
+
+    def test_record_types_counted(self):
+        breakdown = analyze_log(_loaded_system().log)
+        assert breakdown.by_record_type["OperationRecord"]["count"] == 3
+        assert "CheckpointRecord" in breakdown.by_record_type
+        # flush_all logged flush/installation records too.
+        bookkeeping = set(breakdown.by_record_type) - {"OperationRecord"}
+        assert bookkeeping
+
+    def test_op_kinds_split(self):
+        breakdown = analyze_log(_loaded_system().log)
+        assert breakdown.by_op_kind["physical"]["count"] == 1
+        assert breakdown.by_op_kind["logical"]["count"] == 2
+        # Only the physical write carries data values.
+        assert breakdown.by_op_kind["physical"]["value_bytes"] == 1000
+        assert breakdown.by_op_kind["logical"]["value_bytes"] == 0
+
+    def test_totals_consistent(self):
+        system = _loaded_system()
+        breakdown = analyze_log(system.log)
+        assert breakdown.total_bytes() == sum(
+            record.record_size() for record in system.log.stable_records()
+        )
+        assert 0.0 <= breakdown.overhead_fraction() <= 1.0
+
+    def test_render_readable(self):
+        text = analyze_log(_loaded_system().log).render("composition")
+        assert "composition" in text
+        assert "OperationRecord" in text
+        assert "op:logical" in text

@@ -1,0 +1,25 @@
+"""Smoke tests for ``python -m repro`` and the docstring examples."""
+
+import doctest
+import subprocess
+import sys
+
+
+def test_python_dash_m_repro_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "self-demo" in result.stdout
+    assert "verified against the oracle" in result.stdout
+    assert "OK" in result.stdout
+
+
+def test_size_model_doctests():
+    import repro.common.sizes as sizes
+
+    failures, _tests = doctest.testmod(sizes)
+    assert failures == 0

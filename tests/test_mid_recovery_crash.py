@@ -1,0 +1,124 @@
+"""Crashes *during* recovery.
+
+Redo recovery mutates no stable state except the idempotent re-apply of
+committed flush transactions, so a crash at any point inside recovery
+must leave the database exactly as recoverable as before — Theorem 2's
+idempotence, tested at the pass boundaries the implementation has.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CacheConfig,
+    GeneralizedRedoTest,
+    MultiObjectStrategy,
+    RecoverableSystem,
+    SystemConfig,
+    verify_recovered,
+)
+from repro.core.recovery import RecoveryManager, RecoveryReport
+from repro.storage import FlushTransaction
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+from tests.conftest import physical
+
+
+def _crashed_system(seed: int = 0, flush_txn: bool = False):
+    cache = (
+        CacheConfig(
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=FlushTransaction(),
+        )
+        if flush_txn
+        else CacheConfig()
+    )
+    system = RecoverableSystem(SystemConfig(cache=cache))
+    register_workload_functions(system.registry)
+    rng = random.Random(seed)
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(objects=5, operations=25, object_size=48),
+        seed=seed,
+    )
+    for op in workload.operations():
+        system.execute(op)
+        if rng.random() < 0.3:
+            system.log.force()
+        if rng.random() < 0.25:
+            system.purge()
+    system.crash()
+    return system
+
+
+class TestCrashDuringRecovery:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crash_after_analysis_pass(self, seed):
+        """Run only the analysis pass (which may re-apply committed
+        flush transactions to the store), then 'crash' and run full
+        recovery: the final state must verify."""
+        system = _crashed_system(seed, flush_txn=True)
+        manager = RecoveryManager(
+            system.log,
+            system.store,
+            system.registry,
+            GeneralizedRedoTest(),
+            system.stats,
+        )
+        manager._analysis_pass(RecoveryReport())  # partial recovery...
+        # ...then the machine dies again.  Nothing volatile survives.
+        system.recover()
+        verify_recovered(system)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_repeated_interrupted_recoveries(self, seed):
+        """Recover, crash immediately (losing the adopted volatile
+        state), recover again — repeatedly."""
+        system = _crashed_system(seed)
+        final = None
+        for _attempt in range(3):
+            system.recover()
+            state = verify_recovered(system)
+            if final is not None:
+                assert state == final
+            final = state
+            system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_post_recovery_partial_flush_then_crash(self):
+        """Recover, flush only part of the redone work, crash again:
+        the half-flushed recovery must itself be recoverable."""
+        system = _crashed_system(11)
+        system.recover()
+        system.purge()  # install only one node of the redone work
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_analysis_pass_is_idempotent_on_store(self):
+        system = _crashed_system(3, flush_txn=True)
+        before = system.store.copy_versions()
+        manager = RecoveryManager(
+            system.log,
+            system.store,
+            system.registry,
+            GeneralizedRedoTest(),
+            system.stats,
+        )
+        manager._analysis_pass(RecoveryReport())
+        once = system.store.copy_versions()
+        manager._analysis_pass(RecoveryReport())
+        twice = system.store.copy_versions()
+        assert once == twice
+        # And only flush-txn repairs may have changed anything.
+        changed = {
+            obj
+            for obj in set(before) | set(once)
+            if before.get(obj) != once.get(obj)
+        }
+        for obj in changed:
+            assert once[obj].vsi >= before.get(obj, once[obj]).vsi

@@ -1,0 +1,188 @@
+"""Unit tests for the operation model (repro.core.operation)."""
+
+import pytest
+
+from repro.common.sizes import ID_SIZE, RECORD_HEADER_SIZE, SCALAR_SIZE
+from repro.core.functions import default_registry
+from repro.core.operation import (
+    Operation,
+    OpKind,
+    TOMBSTONE,
+    delete_object,
+    execute_transform,
+    identity_write,
+)
+
+
+class TestConstruction:
+    def test_exp_and_notexp_partition_writeset(self):
+        op = Operation(
+            "op",
+            OpKind.LOGICAL,
+            reads={"a", "b"},
+            writes={"b", "c"},
+            fn="f",
+        )
+        assert op.exp == {"b"}
+        assert op.notexp == {"c"}
+        assert op.exp | op.notexp == op.writes
+
+    def test_blind_write(self):
+        op = delete_object("x")
+        assert op.is_blind
+        assert op.notexp == {"x"}
+
+    def test_empty_writeset_rejected(self):
+        with pytest.raises(ValueError, match="writes nothing"):
+            Operation("op", OpKind.LOGICAL, reads={"a"}, writes=set(), fn="f")
+
+    def test_physical_requires_payload(self):
+        with pytest.raises(ValueError, match="needs a payload"):
+            Operation("op", OpKind.PHYSICAL, reads=set(), writes={"x"})
+
+    def test_payload_keys_must_match_writeset(self):
+        with pytest.raises(ValueError, match="payload keys"):
+            Operation(
+                "op",
+                OpKind.PHYSICAL,
+                reads=set(),
+                writes={"x"},
+                payload={"y": b""},
+            )
+
+    def test_physiological_must_be_single_object(self):
+        with pytest.raises(ValueError, match="physiological"):
+            Operation(
+                "op",
+                OpKind.PHYSIOLOGICAL,
+                reads={"x", "y"},
+                writes={"x"},
+                fn="f",
+            )
+
+    def test_physiological_blind_single_object_allowed(self):
+        op = Operation(
+            "op", OpKind.PHYSIOLOGICAL, reads=set(), writes={"x"}, fn="f"
+        )
+        assert op.notexp == {"x"}
+
+
+class TestConflicts:
+    def test_write_write_conflict(self):
+        a = Operation("a", OpKind.LOGICAL, reads=set(), writes={"x"}, fn="f")
+        b = Operation("b", OpKind.LOGICAL, reads=set(), writes={"x"}, fn="f")
+        assert a.conflicts_with(b)
+
+    def test_read_write_conflict(self):
+        a = Operation("a", OpKind.LOGICAL, reads={"x"}, writes={"y"}, fn="f")
+        b = Operation("b", OpKind.LOGICAL, reads=set(), writes={"x"}, fn="f")
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_read_read_no_conflict(self):
+        a = Operation("a", OpKind.LOGICAL, reads={"x"}, writes={"y"}, fn="f")
+        b = Operation("b", OpKind.LOGICAL, reads={"x"}, writes={"z"}, fn="f")
+        assert not a.conflicts_with(b)
+
+
+class TestSizeModel:
+    def test_logical_record_carries_no_values(self):
+        op = Operation(
+            "op",
+            OpKind.LOGICAL,
+            reads={"big-src"},
+            writes={"big-dst"},
+            fn="copy",
+            params=("big-src", "big-dst"),
+        )
+        assert op.value_bytes() == 0
+        # header + 3 ids (reads+writes+fn) + 2 string (identifier) params
+        assert op.record_size() == RECORD_HEADER_SIZE + 3 * ID_SIZE + 2 * ID_SIZE
+
+    def test_physical_record_carries_the_value(self):
+        data = b"x" * 1000
+        op = Operation(
+            "op",
+            OpKind.PHYSICAL,
+            reads=set(),
+            writes={"dst"},
+            payload={"dst": data},
+        )
+        assert op.value_bytes() == 1000
+        assert op.record_size() > 1000
+
+    def test_bulk_params_count_as_values(self):
+        op = Operation(
+            "op",
+            OpKind.PHYSIOLOGICAL,
+            reads={"a"},
+            writes={"a"},
+            fn="f",
+            params=("a", b"y" * 500),
+        )
+        assert op.value_bytes() == 500
+
+    def test_scalar_params_fixed_width(self):
+        op = Operation(
+            "op",
+            OpKind.PHYSIOLOGICAL,
+            reads={"a"},
+            writes={"a"},
+            fn="f",
+            params=(1, 2.5),
+        )
+        assert op.value_bytes() == 0
+        assert (
+            op.record_size()
+            == RECORD_HEADER_SIZE + 3 * ID_SIZE + 2 * SCALAR_SIZE
+        )
+
+
+class TestIdentityWrite:
+    def test_shape(self):
+        op = identity_write("x", b"current")
+        assert op.kind is OpKind.IDENTITY
+        assert op.reads == frozenset()
+        assert op.writes == {"x"}
+        assert op.notexp == {"x"}
+        assert op.payload == {"x": b"current"}
+
+    def test_value_logged(self):
+        op = identity_write("x", b"12345")
+        assert op.value_bytes() == 5
+
+
+class TestExecuteTransform:
+    def test_physical_returns_payload(self):
+        registry = default_registry()
+        op = delete_object("x")
+        assert execute_transform(op, {}, registry) == {"x": TOMBSTONE}
+
+    def test_logical_applies_registered_fn(self):
+        registry = default_registry()
+        op = Operation(
+            "cp",
+            OpKind.LOGICAL,
+            reads={"a"},
+            writes={"b"},
+            fn="copy",
+            params=("a", "b"),
+        )
+        assert execute_transform(op, {"a": b"v"}, registry) == {"b": b"v"}
+
+    def test_non_dict_result_rejected(self):
+        registry = default_registry()
+        registry.register("bad", lambda reads: [1, 2])
+        op = Operation(
+            "bad", OpKind.LOGICAL, reads=set(), writes={"x"}, fn="bad"
+        )
+        with pytest.raises(TypeError, match="must return a dict"):
+            execute_transform(op, {}, registry)
+
+
+class TestIdentitySemantics:
+    def test_operations_hash_by_identity(self):
+        a = Operation("same", OpKind.LOGICAL, reads=set(), writes={"x"}, fn="f")
+        b = Operation("same", OpKind.LOGICAL, reads=set(), writes={"x"}, fn="f")
+        assert a != b
+        assert len({a, b}) == 2

@@ -1,0 +1,71 @@
+"""Unit tests for oracle replay (repro.core.oracle)."""
+
+from repro.core.functions import default_registry
+from repro.core.operation import Operation, OpKind, TOMBSTONE, delete_object
+from repro.core.oracle import Oracle
+
+
+def _physical(obj, data):
+    return Operation(
+        f"wp({obj})",
+        OpKind.PHYSICAL,
+        reads=set(),
+        writes={obj},
+        payload={obj: data},
+    )
+
+
+def _copy(src, dst):
+    return Operation(
+        f"cp({src},{dst})",
+        OpKind.LOGICAL,
+        reads={src},
+        writes={dst},
+        fn="copy",
+        params=(src, dst),
+    )
+
+
+class TestReplay:
+    def test_replay_in_order(self):
+        oracle = Oracle()
+        state = oracle.replay([_physical("x", b"v"), _copy("x", "y")])
+        assert state == {"x": b"v", "y": b"v"}
+
+    def test_initial_state_respected(self):
+        oracle = Oracle(initial={"x": b"seed"})
+        state = oracle.replay([_copy("x", "y")])
+        assert state["y"] == b"seed"
+
+    def test_value_after(self):
+        oracle = Oracle()
+        ops = [_physical("x", b"1"), _physical("x", b"2")]
+        assert oracle.value_after(ops, "x") == b"2"
+        assert oracle.value_after(ops[:1], "x") == b"1"
+        assert oracle.value_after(ops, "never") is None
+
+    def test_trajectory_lengths_and_content(self):
+        oracle = Oracle()
+        ops = [_physical("x", b"1"), _copy("x", "y")]
+        states = oracle.trajectory(ops)
+        assert len(states) == 3
+        assert states[0] == {}
+        assert states[1] == {"x": b"1"}
+        assert states[2] == {"x": b"1", "y": b"1"}
+
+    def test_trajectory_states_independent(self):
+        oracle = Oracle()
+        states = oracle.trajectory([_physical("x", b"1"), _physical("x", b"2")])
+        assert states[1]["x"] == b"1"  # not aliased to the final state
+
+
+class TestLiveObjects:
+    def test_deleted_objects_not_live(self):
+        oracle = Oracle()
+        ops = [_physical("x", b"v"), _physical("y", b"w"), delete_object("x")]
+        assert oracle.live_objects(ops) == {"y"}
+
+    def test_tombstone_value_in_replay(self):
+        oracle = Oracle()
+        state = oracle.replay([_physical("x", b"v"), delete_object("x")])
+        assert state["x"] is TOMBSTONE

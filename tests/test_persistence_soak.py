@@ -1,0 +1,63 @@
+"""Multi-session soak over a persistent database directory: random
+workloads, random durability actions, abandon-without-cleanup, reopen —
+ten times over, with value checks against a cumulative durable oracle."""
+
+import random
+
+from repro.core.oracle import Oracle
+from repro.core.operation import TOMBSTONE
+from repro.domains.kvstore import register_kv_functions
+from repro.persist import PersistentSystem
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+
+DOMAINS = [register_workload_functions, register_kv_functions]
+
+
+def test_ten_sessions_with_abandonment(tmp_path):
+    dbdir = str(tmp_path / "db")
+    rng = random.Random(99)
+    durable_ops = []
+
+    for session in range(10):
+        system = PersistentSystem.open(dbdir, domains=DOMAINS)
+
+        # The reopened state must match the durable oracle so far.
+        oracle = Oracle(system.registry)
+        expected = oracle.replay(durable_ops)
+        for obj, value in expected.items():
+            actual = system.peek(obj)
+            if value is TOMBSTONE:
+                assert actual is None
+            else:
+                assert actual == value, (
+                    f"session {session}: {obj} diverged"
+                )
+
+        # New work with random durability actions; track exactly the
+        # prefix that becomes durable.
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(
+                objects=5, operations=12, object_size=32, p_delete=0.1
+            ),
+            seed=1000 + session,
+        )
+        executed = []
+        for op in workload.operations():
+            system.execute(op)
+            executed.append(op)
+            roll = rng.random()
+            if roll < 0.3:
+                system.log.force()
+            if roll < 0.2:
+                system.purge()
+            if rng.random() < 0.1:
+                system.checkpoint(truncate=rng.random() < 0.5)
+        durable_ops.extend(
+            op for op in executed if system.log.is_stable(op.lsi)
+        )
+        # Abandon without cleanup: the volatile tail dies here.
+        del system

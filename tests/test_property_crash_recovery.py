@@ -1,0 +1,166 @@
+"""Property-based end-to-end crash-recovery testing (Theorem 2).
+
+For random workloads, random interleavings of log forces / purges /
+checkpoints, and a crash at an arbitrary point, the recovered system
+must agree with the oracle over the durable history — under every cache
+configuration and both sound REDO tests.
+
+This is the executable form of the paper's main guarantee: cache
+management per the (refined) write graph keeps the stable database
+recoverable, and the generalized REDO test recovers it.
+"""
+
+import random
+
+from tests.conftest import examples
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CacheConfig,
+    GeneralizedRedoTest,
+    GraphMode,
+    MultiObjectStrategy,
+    RecoverableSystem,
+    SystemConfig,
+    VsiRedoTest,
+    verify_recovered,
+)
+from repro.storage import FlushTransaction, ShadowInstall
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+
+
+def _make_system(config_index: int, test_index: int) -> RecoverableSystem:
+    cache_configs = [
+        lambda: CacheConfig(),
+        lambda: CacheConfig(
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=ShadowInstall(),
+        ),
+        lambda: CacheConfig(
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=FlushTransaction(),
+        ),
+        lambda: CacheConfig(
+            graph_mode=GraphMode.W,
+            multi_object_strategy=MultiObjectStrategy.ATOMIC,
+            mechanism=ShadowInstall(),
+        ),
+    ]
+    redo_tests = [GeneralizedRedoTest, VsiRedoTest]
+    config = SystemConfig(
+        cache=cache_configs[config_index % len(cache_configs)](),
+        redo_test=redo_tests[test_index % len(redo_tests)](),
+    )
+    system = RecoverableSystem(config)
+    register_workload_functions(system.registry)
+    return system
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    config_index=st.integers(min_value=0, max_value=3),
+    test_index=st.integers(min_value=0, max_value=1),
+    p_delete=st.sampled_from([0.0, 0.15]),
+)
+@settings(max_examples=examples(60), deadline=None)
+def test_crash_recover_matches_oracle(seed, config_index, test_index, p_delete):
+    rng = random.Random(seed)
+    system = _make_system(config_index, test_index)
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(
+            objects=5, operations=30, object_size=48, p_delete=p_delete
+        ),
+        seed=seed,
+    )
+    for op in workload.operations():
+        system.execute(op)
+        roll = rng.random()
+        if roll < 0.35:
+            system.log.force()
+        if roll < 0.25:
+            system.purge()
+        if rng.random() < 0.06:
+            system.checkpoint(truncate=rng.random() < 0.5)
+    system.crash()
+    system.recover()
+    verify_recovered(system)
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=examples(25), deadline=None)
+def test_repeated_crash_cycles(seed):
+    """Crash/recover repeatedly, continuing the workload in between."""
+    rng = random.Random(seed)
+    system = _make_system(seed % 4, seed % 2)
+    for cycle in range(3):
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(
+                objects=4, operations=15, object_size=32, p_delete=0.1
+            ),
+            seed=seed * 10 + cycle,
+        )
+        for op in workload.operations():
+            system.execute(op)
+            if rng.random() < 0.3:
+                system.log.force()
+            if rng.random() < 0.2:
+                system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=examples(25), deadline=None)
+def test_recovery_is_idempotent(seed):
+    """Theorem 2 says Recover is idempotent: crashing immediately after
+    a recovery and recovering again reaches the same state."""
+    system = _make_system(0, 0)
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(objects=4, operations=20, object_size=32),
+        seed=seed,
+    )
+    rng = random.Random(seed)
+    for op in workload.operations():
+        system.execute(op)
+        if rng.random() < 0.4:
+            system.log.force()
+        if rng.random() < 0.2:
+            system.purge()
+    system.crash()
+    system.recover()
+    first = verify_recovered(system)
+    system.crash()
+    system.recover()
+    second = verify_recovered(system)
+    assert first == second
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    flush_everything=st.booleans(),
+)
+@settings(max_examples=examples(25), deadline=None)
+def test_nothing_lost_when_everything_flushed(seed, flush_everything):
+    """With the full cache drained before the crash, recovery redoes
+    nothing (generalized test) and state is exact."""
+    system = _make_system(0, 0)
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(objects=4, operations=20, object_size=32),
+        seed=seed,
+    )
+    for op in workload.operations():
+        system.execute(op)
+    if flush_everything:
+        system.flush_all()
+    else:
+        system.log.force()
+    system.crash()
+    report = system.recover()
+    verify_recovered(system)
+    if flush_everything:
+        assert report.ops_redone == 0

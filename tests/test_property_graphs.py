@@ -1,0 +1,153 @@
+"""Property-based tests on the write-graph data structures.
+
+Invariants checked over randomly generated operation sequences:
+
+* both write graphs are always acyclic (a flush order always exists);
+* in rW, every object with an uninstalled writer sits in the vars of at
+  most one node, and that node contains its last uninstalled writer;
+* rW's Notx objects are always disjoint from its vars;
+* rW's flush sets are never larger than W's for the same operations
+  (the refinement never loses precision);
+* draining either graph by repeatedly removing a minimal node succeeds
+  and installs every operation exactly once.
+"""
+
+from typing import List
+
+from tests.conftest import examples
+from hypothesis import given, settings, strategies as st
+
+from repro.core.history import History
+from repro.core.installation_graph import InstallationGraph
+from repro.core.operation import Operation, OpKind
+from repro.core.refined_write_graph import RefinedWriteGraph
+from repro.core.write_graph import WriteGraph
+
+OBJECTS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def operation_specs(draw, max_ops: int = 24):
+    """Random (reads, writes) shape sequences over a small object pool."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    specs = []
+    for _ in range(count):
+        writes = draw(
+            st.sets(st.sampled_from(OBJECTS), min_size=1, max_size=2)
+        )
+        reads = draw(
+            st.sets(st.sampled_from(OBJECTS), min_size=0, max_size=3)
+        )
+        specs.append((frozenset(reads), frozenset(writes)))
+    return specs
+
+
+def _build_ops(specs) -> List[Operation]:
+    history = History()
+    ops = []
+    for index, (reads, writes) in enumerate(specs):
+        op = Operation(
+            f"op{index}", OpKind.LOGICAL, reads=reads, writes=writes, fn="f"
+        )
+        history.append(op)
+        op.lsi = index + 1
+        ops.append(op)
+    return ops
+
+
+def _build_rw(ops) -> RefinedWriteGraph:
+    graph = RefinedWriteGraph()
+    for op in ops:
+        graph.add_operation(op)
+    return graph
+
+
+class TestRWInvariants:
+    @given(operation_specs())
+    @settings(max_examples=examples(120), deadline=None)
+    def test_always_acyclic(self, specs):
+        graph = _build_rw(_build_ops(specs))
+        assert graph.is_acyclic()
+
+    @given(operation_specs())
+    @settings(max_examples=examples(120), deadline=None)
+    def test_vars_holder_unique_and_holds_last_writer(self, specs):
+        ops = _build_ops(specs)
+        graph = _build_rw(ops)
+        last_writer = {}
+        for op in ops:
+            for obj in op.writes:
+                last_writer[obj] = op
+        for obj, writer in last_writer.items():
+            holders = [n for n in graph.nodes if obj in n.vars]
+            assert len(holders) <= 1, f"{obj} in several flush sets"
+            if holders:
+                assert writer in holders[0].ops
+
+    @given(operation_specs())
+    @settings(max_examples=examples(120), deadline=None)
+    def test_notx_disjoint_from_vars(self, specs):
+        graph = _build_rw(_build_ops(specs))
+        for node in graph.nodes:
+            assert not (node.vars & node.notx)
+            assert node.vars <= node.writes
+
+    @given(operation_specs())
+    @settings(max_examples=examples(100), deadline=None)
+    def test_drain_installs_every_op_once(self, specs):
+        ops = _build_ops(specs)
+        graph = _build_rw(ops)
+        installed = []
+        while graph.nodes:
+            minimal = graph.minimal_nodes()
+            assert minimal, "acyclic graph must have a minimal node"
+            node = minimal[0]
+            installed.extend(node.ops)
+            graph.remove_node(node)
+        assert sorted(op.name for op in installed) == sorted(
+            op.name for op in ops
+        )
+
+
+class TestWVersusRW:
+    @given(operation_specs())
+    @settings(max_examples=examples(100), deadline=None)
+    def test_w_acyclic_and_complete(self, specs):
+        ops = _build_ops(specs)
+        graph = WriteGraph(InstallationGraph(ops))
+        assert graph.is_acyclic()
+        covered = set()
+        for node in graph.nodes:
+            covered |= node.ops
+        assert covered == set(ops)
+
+    @given(operation_specs())
+    @settings(max_examples=examples(100), deadline=None)
+    def test_rw_flush_sets_no_larger_than_w(self, specs):
+        """For every object, the rW node flushing it has a flush set no
+        larger than the W node flushing it: the refinement only ever
+        removes objects from atomic flush sets."""
+        ops = _build_ops(specs)
+        w_graph = WriteGraph(InstallationGraph(ops))
+        rw_graph = _build_rw(ops)
+        w_set_of = {}
+        for node in w_graph.nodes:
+            for obj in node.vars:
+                w_set_of[obj] = len(node.vars)
+        for node in rw_graph.nodes:
+            for obj in node.vars:
+                assert len(node.vars) <= w_set_of[obj], (
+                    f"rW flush set for {obj} larger than W's"
+                )
+
+    @given(operation_specs())
+    @settings(max_examples=examples(100), deadline=None)
+    def test_rw_total_flushed_objects_at_most_w(self, specs):
+        """rW flushes at most as many object-slots as W (Notx objects
+        are installed without flushing)."""
+        ops = _build_ops(specs)
+        w_total = sum(
+            len(n.vars) for n in WriteGraph(InstallationGraph(ops)).nodes
+        )
+        rw_total = sum(len(n.vars) for n in _build_rw(ops).nodes)
+        assert rw_total <= w_total

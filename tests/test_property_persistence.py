@@ -1,0 +1,85 @@
+"""Property-based persistence testing: random workloads with random
+force/purge/checkpoint patterns, then an abrupt reopen.
+
+The reopened database must equal the oracle over the *durable prefix*
+(operations whose records were forced), regardless of how much work was
+volatile — hypothesis explores the force-pattern space that the single
+process-kill test samples once.
+"""
+
+import os
+
+from tests.conftest import examples
+from hypothesis import given, settings, strategies as st
+
+from repro.core.oracle import Oracle
+from repro.core.operation import TOMBSTONE
+from repro.domains.kvstore import register_kv_functions
+from repro.persist import PersistentSystem
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+
+#: Per-step actions, drawn per operation: force, purge, checkpoint.
+step_actions = st.lists(
+    st.tuples(st.booleans(), st.booleans(), st.integers(0, 19)),
+    min_size=12,
+    max_size=12,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6), actions=step_actions)
+@settings(max_examples=examples(25), deadline=None)
+def test_reopen_equals_durable_prefix(tmp_path_factory, seed, actions):
+    dbdir = str(tmp_path_factory.mktemp("pdb") / "db")
+    system = PersistentSystem.open(
+        dbdir, domains=[register_workload_functions, register_kv_functions]
+    )
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(
+            objects=4, operations=12, object_size=24, p_delete=0.1
+        ),
+        seed=seed,
+    )
+    executed = []
+    forced_count = 0
+    for op, (do_force, do_purge, checkpoint_roll) in zip(
+        workload.operations(), actions
+    ):
+        system.execute(op)
+        executed.append(op)
+        if do_force:
+            system.log.force()
+            forced_count = len(executed)
+        if do_purge:
+            system.purge()
+            # A purge forces the WAL prefix it needs; everything up to
+            # the highest forced lSI is durable.
+            forced_count = max(
+                forced_count,
+                sum(
+                    1
+                    for candidate in executed
+                    if system.log.is_stable(candidate.lsi)
+                ),
+            )
+        if checkpoint_roll == 0:
+            system.checkpoint(truncate=True)
+            forced_count = len(executed)
+
+    durable = executed[:forced_count]
+    # Abandon the system without any cleanup and reopen from disk.
+    del system
+    reopened = PersistentSystem.open(
+        dbdir, domains=[register_workload_functions, register_kv_functions]
+    )
+    oracle = Oracle(reopened.registry)
+    expected = oracle.replay(durable)
+    for obj, value in expected.items():
+        actual = reopened.peek(obj)
+        if value is TOMBSTONE:
+            assert actual is None, f"{obj} should be deleted"
+        else:
+            assert actual == value, f"{obj} diverged after reopen"

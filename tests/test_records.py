@@ -1,0 +1,82 @@
+"""Tests for log record types (repro.wal.records)."""
+
+from repro.common.sizes import ID_SIZE, RECORD_HEADER_SIZE, SCALAR_SIZE
+from repro.core.operation import Operation, OpKind
+from repro.wal.records import (
+    CheckpointRecord,
+    FlushRecord,
+    FlushTxnCommitRecord,
+    FlushTxnValuesRecord,
+    InstallationRecord,
+    LogRecord,
+    OperationRecord,
+)
+
+
+class TestBaseRecord:
+    def test_header_only(self):
+        record = LogRecord()
+        assert record.record_size() == RECORD_HEADER_SIZE
+        assert record.value_bytes() == 0
+
+
+class TestOperationRecord:
+    def test_delegates_to_operation(self):
+        op = Operation(
+            "op",
+            OpKind.PHYSICAL,
+            reads=set(),
+            writes={"x"},
+            payload={"x": b"abc"},
+        )
+        record = OperationRecord(op)
+        assert record.record_size() == op.record_size()
+        assert record.value_bytes() == 3
+
+
+class TestInstallationRecord:
+    def test_size_scales_with_entries(self):
+        small = InstallationRecord(flushed={"a": None}, unexposed={})
+        large = InstallationRecord(
+            flushed={"a": None, "b": 3},
+            unexposed={"c": 9},
+            installed_lsis=(1, 2, 3),
+        )
+        assert large.record_size() > small.record_size()
+
+    def test_no_value_bytes(self):
+        record = InstallationRecord(flushed={"a": 1}, unexposed={"b": 2})
+        assert record.value_bytes() == 0
+
+
+class TestFlushRecord:
+    def test_fixed_small_size(self):
+        record = FlushRecord("obj", 17)
+        assert (
+            record.record_size()
+            == RECORD_HEADER_SIZE + ID_SIZE + SCALAR_SIZE
+        )
+
+
+class TestCheckpointRecord:
+    def test_size_scales_with_dirty_table(self):
+        empty = CheckpointRecord({})
+        loaded = CheckpointRecord({f"o{i}": i for i in range(10)})
+        assert (
+            loaded.record_size() - empty.record_size()
+            == 10 * (ID_SIZE + SCALAR_SIZE)
+        )
+
+
+class TestFlushTxnRecords:
+    def test_values_record_carries_values(self):
+        record = FlushTxnValuesRecord(
+            1, {"a": (b"12345", 9), "b": (b"6789", 10)}
+        )
+        assert record.value_bytes() == 9
+        assert record.record_size() > 9
+
+    def test_commit_record_small(self):
+        record = FlushTxnCommitRecord(1)
+        assert record.record_size() == RECORD_HEADER_SIZE + SCALAR_SIZE
+        assert record.value_bytes() == 0

@@ -1,0 +1,214 @@
+"""Unit tests for the refined write graph rW (Figure 6), including the
+paper's worked examples (Figure 5, Figure 7, the Section 4 cycle)."""
+
+from repro.core.history import History
+from repro.core.operation import Operation, OpKind, identity_write
+from repro.core.refined_write_graph import RefinedWriteGraph
+
+
+def _op(name, reads, writes):
+    op = Operation(
+        name, OpKind.LOGICAL, reads=set(reads), writes=set(writes), fn="f"
+    )
+    return op
+
+
+def _feed(*ops):
+    """Build an rW by feeding ops in conflict order with lSIs assigned."""
+    graph = RefinedWriteGraph()
+    history = History()
+    for index, op in enumerate(ops):
+        history.append(op)
+        op.lsi = index + 1
+        graph.add_operation(op)
+    return graph
+
+
+class TestBasicShapes:
+    def test_single_op_single_node(self):
+        a = _op("a", [], ["x"])
+        graph = _feed(a)
+        assert len(graph) == 1
+        assert graph.node_of(a).vars == {"x"}
+
+    def test_physiological_chain_merges(self):
+        # X <- f(X) twice: exposed writes merge into one node.
+        a = _op("a", ["x"], ["x"])
+        b = _op("b", ["x"], ["x"])
+        graph = _feed(a, b)
+        assert len(graph) == 1
+        node = graph.nodes[0]
+        assert node.ops == {a, b}
+        assert node.vars == {"x"}
+        assert node.notx == set()
+
+    def test_disjoint_physiological_no_edges(self):
+        # The degenerate case: singleton nodes, no flush constraints.
+        graph = _feed(_op("a", ["x"], ["x"]), _op("b", ["y"], ["y"]))
+        assert len(graph) == 2
+        assert len(graph.minimal_nodes()) == 2
+
+
+class TestBlindWritesUnexpose:
+    def test_blind_write_removes_from_vars(self):
+        """The core refinement: a later blind write moves an object from
+        an earlier node's vars into its Notx."""
+        a = _op("a", [], ["x"])
+        blind = _op("blind", [], ["x"])
+        graph = _feed(a, blind)
+        node_a = graph.node_of(a)
+        node_b = graph.node_of(blind)
+        assert node_a is not node_b
+        assert node_a.vars == set()
+        assert node_a.notx == {"x"}
+        assert node_b.vars == {"x"}
+        # Write-write edge: a's node installs before blind's node.
+        assert graph.successors(node_a) == {node_b}
+
+    def test_vars_holder_unique(self):
+        a = _op("a", [], ["x"])
+        b = _op("b", [], ["x"])
+        c = _op("c", [], ["x"])
+        graph = _feed(a, b, c)
+        holders = [n for n in graph.nodes if "x" in n.vars]
+        assert len(holders) == 1
+        assert holders[0] is graph.node_of(c)
+
+
+class TestFigure5:
+    """Figure 5: A writes X and Y atomically; B (reads Y, writes X
+    blindly w.r.t. X) lets Y be flushed alone."""
+
+    def test_refinement(self):
+        a = _op("A", ["X", "Y"], ["X", "Y"])
+        b = _op("B", ["Y"], ["X"])
+        graph = _feed(a, b)
+        node_a = graph.node_of(a)
+        node_b = graph.node_of(b)
+        # Initially {X, Y} were one flush set; after B, X is unexposed
+        # in A's node and can be skipped when flushing.
+        assert node_a.vars == {"Y"}
+        assert node_a.notx == {"X"}
+        assert node_b.vars == {"X"}
+        # Flush order: A's node (Y alone) before B's node (X).
+        assert graph.minimal_nodes() == [node_a]
+        assert graph.successors(node_a) == {node_b}
+
+
+class TestFigure7:
+    """Figure 7: one operation writes both X and Y; B reads X; C blind-
+    writes X.  rW keeps Y alone in A's flush set; W would atomically
+    flush {X, Y}."""
+
+    def test_rw_shape(self):
+        a = _op("A", [], ["X", "Y"])
+        b = _op("B", ["X"], ["Z"])
+        c = _op("C", [], ["X"])
+        graph = _feed(a, b, c)
+        node_a = graph.node_of(a)
+        node_b = graph.node_of(b)
+        node_c = graph.node_of(c)
+        assert node_a.vars == {"Y"}
+        assert node_a.notx == {"X"}
+        assert node_c.vars == {"X"}
+        # Inverse write-read edge: B read Lastw(A, X), so B's node must
+        # install before A's node (X's unflushed value must not be
+        # needed once A is installed).
+        assert node_a in graph.successors(node_b)
+        # And A's node before C's (write-write).
+        assert node_c in graph.successors(node_a)
+
+    def test_install_order_via_minimal_nodes(self):
+        a = _op("A", [], ["X", "Y"])
+        b = _op("B", ["X"], ["Z"])
+        c = _op("C", [], ["X"])
+        graph = _feed(a, b, c)
+        order = []
+        while graph.nodes:
+            node = graph.minimal_nodes()[0]
+            order.append(sorted(op.name for op in node.ops))
+            graph.remove_node(node)
+        assert order == [["B"], ["A"], ["C"]]
+
+
+class TestSection4Cycle:
+    """(a) Y=f(X,Y); (b) X=g(Y); (c) Y=h(Y) — a cycle forms and is
+    collapsed into one node with a multi-object flush set."""
+
+    def test_cycle_collapse(self):
+        a = _op("a", ["X", "Y"], ["Y"])
+        b = _op("b", ["Y"], ["X"])
+        c = _op("c", ["Y"], ["Y"])
+        graph = _feed(a, b, c)
+        assert graph.cycle_collapses == 1
+        assert len(graph) == 1
+        node = graph.nodes[0]
+        assert node.ops == {a, b, c}
+        assert node.vars == {"X", "Y"}
+        assert graph.is_acyclic()
+
+
+class TestIdentityWrites:
+    def test_identity_write_peels_object(self):
+        """Feeding W_IP(X) through addop_rW removes X from the big
+        node's vars — Section 4's flush-set dissolution."""
+        a = _op("a", ["X", "Y"], ["Y"])
+        b = _op("b", ["Y"], ["X"])
+        c = _op("c", ["Y"], ["Y"])
+        graph = _feed(a, b, c)
+        big = graph.nodes[0]
+        wip = identity_write("X", b"value")
+        wip.lsi = 10
+        graph.add_operation(wip)
+        node_w = graph.node_of(wip)
+        assert node_w is not big
+        assert big.vars == {"Y"}
+        assert big.notx == {"X"}
+        assert node_w.vars == {"X"}
+        assert node_w in graph.successors(big)
+        # The big node can now be installed by flushing Y alone.
+        assert graph.minimal_nodes() == [big]
+
+
+class TestRemoveNode:
+    def test_remove_requires_minimal(self):
+        a = _op("a", ["X", "Y"], ["Y"])
+        b = _op("b", ["Y"], ["X"])
+        graph = _feed(a, b)
+        node_b = graph.node_of(b)
+        try:
+            graph.remove_node(node_b)
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_remove_returns_vars_and_notx(self):
+        a = _op("a", [], ["x"])
+        blind = _op("blind", [], ["x"])
+        graph = _feed(a, blind)
+        node_a = graph.node_of(a)
+        flushed, unexposed = graph.remove_node(node_a)
+        assert flushed == set()
+        assert unexposed == {"x"}
+        assert len(graph) == 1
+
+    def test_uninstalled_operations(self):
+        a = _op("a", [], ["x"])
+        b = _op("b", [], ["y"])
+        graph = _feed(a, b)
+        assert graph.uninstalled_operations() == {a, b}
+
+    def test_flush_set_sizes(self):
+        a = _op("a", [], ["x", "y"])
+        graph = _feed(a)
+        assert graph.flush_set_sizes() == [2]
+
+
+class TestReadWriteEdges:
+    def test_reader_before_later_writer(self):
+        reader = _op("reader", ["x"], ["y"])
+        writer = _op("writer", ["z"], ["x"])
+        graph = _feed(_op("init", [], ["x", "z"]), reader, writer)
+        node_r = graph.node_of(reader)
+        node_w = graph.node_of(writer)
+        assert node_w in graph.successors(node_r)

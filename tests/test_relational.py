@@ -1,0 +1,159 @@
+"""Tests for the relational domain (repro.domains.relational)."""
+
+import pytest
+
+from repro import RecoverableSystem, verify_recovered
+from repro.domains import CtasLoggingMode, RelationalStore
+from repro.domains.relational import _apply_query
+
+
+@pytest.fixture
+def db():
+    store = RelationalStore(RecoverableSystem())
+    store.create_table(
+        "orders",
+        ["id", "customer", "amount"],
+        [
+            (1, "ada", 30),
+            (2, "bob", 12),
+            (3, "ada", 55),
+            (4, "cyd", 7),
+        ],
+    )
+    return store
+
+
+class TestQueryEvaluator:
+    TABLE = (("a", "b"), ((1, "x"), (2, "y"), (3, "x")))
+
+    def test_projection(self):
+        got = _apply_query(self.TABLE, ("b",), None, None)
+        assert got == (("b",), (("x",), ("y",), ("x",)))
+
+    def test_filter(self):
+        got = _apply_query(self.TABLE, None, ("a", ">", 1), None)
+        assert got[1] == ((2, "y"), (3, "x"))
+
+    def test_order_by(self):
+        got = _apply_query(self.TABLE, None, None, "b")
+        assert got[1] == ((1, "x"), (3, "x"), (2, "y"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="operator"):
+            _apply_query(self.TABLE, None, ("a", "~~", 1), None)
+
+    def test_all_operators(self):
+        for op_name, expected in [
+            ("==", 1), ("!=", 2), ("<", 1), ("<=", 2), (">", 1), (">=", 2),
+        ]:
+            got = _apply_query(self.TABLE, None, ("a", op_name, 2), None)
+            assert len(got[1]) == expected, op_name
+
+
+class TestDDL:
+    def test_create_and_select(self, db):
+        assert db.table_exists("orders")
+        assert db.row_count("orders") == 4
+        assert db.columns("orders") == ("id", "customer", "amount")
+
+    def test_insert_rows(self, db):
+        db.insert_rows("orders", [(5, "bob", 99)])
+        assert db.row_count("orders") == 5
+
+    def test_insert_arity_checked(self, db):
+        with pytest.raises(Exception):
+            db.insert_rows("orders", [(6, "too-few")])
+
+    def test_drop_table(self, db):
+        db.drop_table("orders")
+        assert not db.table_exists("orders")
+
+    def test_select_where_order(self, db):
+        rows = db.select(
+            "orders",
+            columns=("customer", "amount"),
+            where=("customer", "==", "ada"),
+            order_by="amount",
+        )
+        assert rows == [("ada", 30), ("ada", 55)]
+
+
+class TestCtas:
+    def test_ctas_derives_table(self, db):
+        db.create_table_as(
+            "big_orders", "orders", where=("amount", ">=", 30),
+            order_by="amount",
+        )
+        assert db.select("big_orders") == [(1, "ada", 30), (3, "ada", 55)]
+
+    def test_ctas_projection(self, db):
+        db.create_table_as("names", "orders", columns=("customer",))
+        assert db.columns("names") == ("customer",)
+
+    def test_ctas_missing_source_fails(self, db):
+        with pytest.raises(Exception):
+            db.create_table_as("x", "nope")
+
+    def test_logical_ctas_logs_no_table_contents(self):
+        system = RecoverableSystem()
+        db = RelationalStore(system)
+        rows = [(i, b"payload" * 50) for i in range(200)]
+        db.create_table("src", ["id", "blob"], rows)
+        before = system.stats.log_value_bytes
+        db.create_table_as("derived", "src", order_by="id")
+        assert system.stats.log_value_bytes == before
+
+    def test_physical_ctas_logs_everything(self):
+        system = RecoverableSystem()
+        db = RelationalStore(system, mode=CtasLoggingMode.PHYSICAL)
+        rows = [(i, b"payload" * 50) for i in range(200)]
+        db.create_table("src", ["id", "blob"], rows)
+        before = system.stats.log_value_bytes
+        db.create_table_as("derived", "src", order_by="id")
+        assert system.stats.log_value_bytes - before > 200 * 350
+
+    @pytest.mark.parametrize("mode", list(CtasLoggingMode))
+    def test_modes_agree_on_result(self, mode):
+        db = RelationalStore(RecoverableSystem(), mode=mode)
+        db.create_table("t", ["k"], [(3,), (1,), (2,)])
+        db.create_table_as("sorted_t", "t", order_by="k")
+        assert db.select("sorted_t") == [(1,), (2,), (3,)]
+
+
+class TestRecovery:
+    def test_ctas_chain_recovers(self):
+        system = RecoverableSystem()
+        db = RelationalStore(system)
+        db.create_table("base", ["k", "v"], [(i, i * i) for i in range(50)])
+        db.create_table_as("evens", "base", where=("k", ">=", 25))
+        db.create_table_as(
+            "tops", "evens", where=("v", ">", 1000), order_by="v"
+        )
+        db.drop_table("evens")  # transient intermediate
+        expected = db.select("tops")
+        system.log.force()
+        for _ in range(2):
+            system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        recovered = RelationalStore(system)
+        assert recovered.select("tops") == expected
+        assert not recovered.table_exists("evens")
+
+    def test_dropped_intermediate_not_rederived(self):
+        """The transient-table version of the Section 5 win: after
+        installation + checkpoint, recovery never re-runs the CTAS of a
+        dropped intermediate."""
+        system = RecoverableSystem()
+        db = RelationalStore(system)
+        db.create_table("base", ["k"], [(i,) for i in range(100)])
+        db.create_table_as("tmp", "base", where=("k", "<", 50))
+        db.create_table_as("final", "tmp", order_by="k")
+        db.drop_table("tmp")
+        system.flush_all()
+        system.checkpoint()
+        system.crash()
+        report = system.recover()
+        verify_recovered(system)
+        assert report.ops_redone == 0

@@ -1,0 +1,91 @@
+"""Scale smoke tests: a few thousand operations through the full stack.
+
+These keep the suite honest about algorithmic behaviour (the
+incremental rW maintenance, writer-index discharge, analysis scans) —
+a quadratic regression shows up here as a timeout long before users
+see it.
+"""
+
+import random
+
+import pytest
+
+from repro import RecoverableSystem, SystemConfig, verify_recovered
+from repro.domains import IndexedKVStore, KVPageStore, RecoverableBTree
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+
+
+class TestScale:
+    def test_five_thousand_physiological_ops(self):
+        system = RecoverableSystem()
+        store = KVPageStore(system, pages=32)
+        rng = random.Random(1)
+        for index in range(5000):
+            store.put(rng.randrange(500), index)
+            if index % 200 == 199:
+                system.flush_all()
+                system.checkpoint(truncate=True)
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_two_thousand_logical_ops_with_purges(self):
+        system = RecoverableSystem()
+        register_workload_functions(system.registry)
+        rng = random.Random(2)
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(
+                objects=24, operations=2000, object_size=64, p_delete=0.05
+            ),
+            seed=2,
+        )
+        for index, op in enumerate(workload.operations()):
+            system.execute(op)
+            if rng.random() < 0.2:
+                system.purge()
+            if index % 250 == 249:
+                system.log.force()
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_btree_thousand_keys_mixed(self):
+        system = RecoverableSystem()
+        tree = RecoverableBTree(system, capacity=16)
+        rng = random.Random(3)
+        alive = set()
+        for _round in range(2000):
+            key = rng.randrange(1000)
+            if key in alive and rng.random() < 0.4:
+                tree.delete(key)
+                alive.discard(key)
+            else:
+                tree.insert(key, key)
+                alive.add(key)
+        assert tree.check_structure() == len(alive)
+        system.log.force()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_indexed_store_thousand_updates(self):
+        system = RecoverableSystem()
+        store = IndexedKVStore(system, base_pages=16, index_pages=16)
+        rng = random.Random(4)
+        for index in range(1000):
+            store.put(f"k{rng.randrange(100)}", f"v{rng.randrange(20)}")
+            if index % 100 == 99:
+                system.flush_all()
+        store.check_index_consistency()
+        system.checkpoint(truncate=True)
+        system.crash()
+        report = system.recover()
+        verify_recovered(system)
+        IndexedKVStore(
+            system, base_pages=16, index_pages=16
+        ).check_index_consistency()

@@ -1,0 +1,66 @@
+"""Unit tests for the byte-size model (repro.common.sizes)."""
+
+import pytest
+
+from repro.common.sizes import ID_SIZE, RECORD_HEADER_SIZE, SCALAR_SIZE, size_of
+from repro.core.operation import TOMBSTONE
+
+
+class TestSizeOf:
+    def test_bytes_by_length(self):
+        assert size_of(b"") == 0
+        assert size_of(b"abcd") == 4
+        assert size_of(bytearray(10)) == 10
+
+    def test_memoryview(self):
+        assert size_of(memoryview(b"12345")) == 5
+
+    def test_str_utf8_length(self):
+        assert size_of("abc") == 3
+        assert size_of("é") == 2  # two UTF-8 bytes
+
+    def test_none_is_free(self):
+        assert size_of(None) == 0
+
+    def test_bool_is_one_byte(self):
+        assert size_of(True) == 1
+        assert size_of(False) == 1
+
+    def test_scalars_fixed_width(self):
+        assert size_of(7) == SCALAR_SIZE
+        assert size_of(3.14) == SCALAR_SIZE
+        assert size_of(10**30) == SCALAR_SIZE  # model, not reality
+
+    def test_containers_sum_elements(self):
+        assert size_of((1, 2)) == 2 * (SCALAR_SIZE + 2)
+        assert size_of([b"ab", b"c"]) == (2 + 2) + (1 + 2)
+        assert size_of({"k": b"abc"}) == size_of("k") + 3 + 4
+
+    def test_nested_containers(self):
+        value = ("leaf", (1, 2), (b"x", b"yz"))
+        assert size_of(value) > 0
+
+    def test_tombstone_has_stable_size(self):
+        assert size_of(TOMBSTONE) == 1
+
+    def test_object_with_stable_size_attr(self):
+        class Sized:
+            stable_size = 42
+
+        assert size_of(Sized()) == 42
+
+    def test_object_with_stable_size_method(self):
+        class Sized:
+            def stable_size(self):
+                return 17
+
+        assert size_of(Sized()) == 17
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError, match="no size model"):
+            size_of(object())
+
+    def test_constants_sane(self):
+        # The paper: identifiers ~16 bytes, much smaller than objects.
+        assert ID_SIZE == 16
+        assert RECORD_HEADER_SIZE > 0

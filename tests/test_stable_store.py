@@ -1,0 +1,107 @@
+"""Unit tests for the stable store (repro.storage.stable_store)."""
+
+import pytest
+
+from repro.common.identifiers import NULL_SI
+from repro.storage import IOStats, StableStore
+from repro.storage.stable_store import StoredVersion
+
+
+class TestReadsAndWrites:
+    def test_absent_object_reads_as_null(self):
+        store = StableStore()
+        version = store.read("x")
+        assert version.value is None
+        assert version.vsi == NULL_SI
+
+    def test_write_then_read(self):
+        store = StableStore()
+        store.write("x", b"v", 5)
+        assert store.read("x") == StoredVersion(b"v", 5)
+
+    def test_contains_and_vsi(self):
+        store = StableStore()
+        assert not store.contains("x")
+        assert store.vsi_of("x") == NULL_SI
+        store.write("x", b"v", 3)
+        assert store.contains("x")
+        assert store.vsi_of("x") == 3
+
+    def test_reads_and_writes_counted(self):
+        stats = IOStats()
+        store = StableStore(stats)
+        store.write("x", b"v", 1)
+        store.read("x")
+        store.read("y")
+        assert stats.object_writes == 1
+        assert stats.object_reads == 2
+
+    def test_peek_not_counted(self):
+        stats = IOStats()
+        store = StableStore(stats)
+        store.write("x", b"v", 1)
+        store.peek("x")
+        assert stats.object_reads == 0
+
+    def test_delete(self):
+        store = StableStore()
+        store.write("x", b"v", 1)
+        store.delete("x")
+        assert not store.contains("x")
+        store.delete("x")  # idempotent
+
+
+class TestWriteMany:
+    def test_atomic_writes_all(self):
+        store = StableStore()
+        store.write_many(
+            {"a": StoredVersion(b"1", 1), "b": StoredVersion(b"2", 2)},
+            atomic=True,
+        )
+        assert store.read("a").value == b"1"
+        assert store.read("b").value == b"2"
+
+    def test_non_atomic_runs_hook_between_writes(self):
+        store = StableStore()
+        seen = []
+        store.mid_write_hook = seen.append
+        store.write_many(
+            {"a": StoredVersion(b"1", 1), "b": StoredVersion(b"2", 2)},
+            atomic=False,
+        )
+        assert sorted(seen) == ["a", "b"]
+
+    def test_non_atomic_tears_on_hook_exception(self):
+        store = StableStore()
+        calls = {"n": 0}
+
+        def hook(obj):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("crash")
+
+        store.mid_write_hook = hook
+        with pytest.raises(RuntimeError):
+            store.write_many(
+                {"a": StoredVersion(b"1", 1), "b": StoredVersion(b"2", 2)},
+                atomic=False,
+            )
+        written = [obj for obj in ("a", "b") if store.contains(obj)]
+        assert len(written) == 1  # torn: exactly one landed
+
+
+class TestSnapshots:
+    def test_copy_and_restore(self):
+        store = StableStore()
+        store.write("x", b"v", 1)
+        snap = store.copy_versions()
+        store.write("x", b"w", 2)
+        store.restore_versions(snap)
+        assert store.read("x").value == b"v"
+
+    def test_object_ids_and_len(self):
+        store = StableStore()
+        store.write("a", b"", 1)
+        store.write("b", b"", 2)
+        assert sorted(store.object_ids()) == ["a", "b"]
+        assert len(store) == 2

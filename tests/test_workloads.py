@@ -1,0 +1,129 @@
+"""Tests for workload generators (repro.workloads)."""
+
+import pytest
+
+from repro import RecoverableSystem, verify_recovered
+from repro.core.operation import OpKind
+from repro.domains import AppLoggingMode, FsLoggingMode, SplitLoggingMode
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    app_pipeline_workload,
+    btree_insert_workload,
+    fs_batch_workload,
+    kv_update_workload,
+    register_workload_functions,
+    transient_files_workload,
+)
+
+
+class TestLogicalWorkload:
+    def test_deterministic_given_seed(self):
+        def names(seed):
+            workload = LogicalWorkload(
+                LogicalWorkloadConfig(objects=4, operations=20), seed=seed
+            )
+            return [op.name for op in workload.operations()]
+
+        assert names(7) == names(7)
+        assert names(7) != names(8)
+
+    def test_operation_count(self):
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(objects=3, operations=33)
+        )
+        assert len(list(workload.operations())) == 33
+
+    def test_first_touch_is_creation(self):
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(objects=2, operations=10)
+        )
+        seen = set()
+        for op in workload.operations():
+            for obj in op.reads | op.writes:
+                if obj not in seen:
+                    # An object is created (blind physical) before any
+                    # operation reads it.
+                    assert obj in op.writes or obj in seen
+            seen |= op.writes
+
+    def test_mix_shapes_present(self):
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(objects=4, operations=200), seed=3
+        )
+        kinds = {op.kind for op in workload.operations()}
+        assert OpKind.PHYSICAL in kinds
+        assert OpKind.LOGICAL in kinds
+        assert OpKind.PHYSIOLOGICAL in kinds
+
+    def test_deletes_emitted_when_enabled(self):
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(objects=3, operations=100, p_delete=0.3),
+            seed=5,
+        )
+        names = [op.name for op in workload.operations()]
+        assert any(name.startswith("delete(") for name in names)
+
+    def test_runs_on_system(self):
+        system = RecoverableSystem()
+        register_workload_functions(system.registry)
+        workload = LogicalWorkload(
+            LogicalWorkloadConfig(objects=4, operations=30, p_delete=0.1)
+        )
+        for op in workload.operations():
+            system.execute(op)
+        system.flush_all()
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+
+class TestDomainScenarios:
+    def test_app_pipeline(self):
+        system = RecoverableSystem()
+        app = app_pipeline_workload(system, pipelines=3, object_size=128)
+        assert app.step == 3
+
+    def test_fs_batch(self):
+        system = RecoverableSystem()
+        fs = fs_batch_workload(system, files=3, object_size=128)
+        assert fs.read_file("f0.copy") == fs.read_file("f0")
+        assert fs.read_file("f1.sorted") == bytes(
+            sorted(fs.read_file("f1"))
+        )
+
+    def test_transient_files(self):
+        system = RecoverableSystem()
+        fs = transient_files_workload(system, files=8, keep_every=4)
+        assert fs.exists("tmp0")
+        assert not fs.exists("tmp1")
+
+    def test_btree_inserts(self):
+        system = RecoverableSystem()
+        tree = btree_insert_workload(system, inserts=60, capacity=4)
+        assert tree.check_structure() == 60
+
+    def test_kv_updates(self):
+        system = RecoverableSystem()
+        store = kv_update_workload(system, updates=50, keys=10)
+        assert len(store.keys()) <= 10
+
+    @pytest.mark.parametrize(
+        "mode", [AppLoggingMode.LOGICAL, AppLoggingMode.PHYSIOLOGICAL]
+    )
+    def test_app_modes_supported(self, mode):
+        system = RecoverableSystem()
+        app_pipeline_workload(
+            system, pipelines=2, object_size=64, mode=mode
+        )
+
+    def test_scenarios_recover(self):
+        system = RecoverableSystem()
+        fs_batch_workload(system, files=2, object_size=64)
+        btree_insert_workload(system, inserts=30, capacity=4)
+        system.log.force()
+        for _ in range(5):
+            system.purge()
+        system.crash()
+        system.recover()
+        verify_recovered(system)

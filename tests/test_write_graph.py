@@ -1,0 +1,125 @@
+"""Unit tests for write graph W (repro.core.write_graph, Figure 3)."""
+
+from repro.core.history import History
+from repro.core.installation_graph import InstallationGraph
+from repro.core.operation import Operation, OpKind
+from repro.core.write_graph import WriteGraph
+
+
+def _op(name, reads, writes):
+    return Operation(
+        name, OpKind.LOGICAL, reads=set(reads), writes=set(writes), fn="f"
+    )
+
+
+def _graph(*ops):
+    history = History()
+    for op in ops:
+        history.append(op)
+    return WriteGraph(InstallationGraph(list(history)))
+
+
+class TestCollapse:
+    def test_overlapping_writesets_share_node(self):
+        a = _op("a", [], ["x", "y"])
+        b = _op("b", [], ["y", "z"])
+        graph = _graph(a, b)
+        assert len(graph) == 1
+        node = graph.nodes[0]
+        assert node.ops == {a, b}
+        assert node.vars == {"x", "y", "z"}
+
+    def test_disjoint_writesets_separate_nodes(self):
+        graph = _graph(_op("a", [], ["x"]), _op("b", [], ["y"]))
+        assert len(graph) == 2
+
+    def test_transitive_overlap_one_node(self):
+        graph = _graph(
+            _op("a", [], ["x", "y"]),
+            _op("b", [], ["y", "z"]),
+            _op("c", [], ["z", "w"]),
+        )
+        assert len(graph) == 1
+
+    def test_empty_graph(self):
+        graph = _graph()
+        assert len(graph) == 0
+        assert graph.minimal_nodes() == []
+
+
+class TestEdgesAndOrder:
+    def test_figure1_flush_order(self):
+        # A reads {X,Y} writes Y; B reads Y writes X: Y before X.
+        a = _op("A", ["X", "Y"], ["Y"])
+        b = _op("B", ["Y"], ["X"])
+        graph = _graph(a, b)
+        assert len(graph) == 2
+        node_a = graph.node_of(a)
+        node_b = graph.node_of(b)
+        assert graph.successors(node_a) == {node_b}
+        assert graph.minimal_nodes() == [node_a]
+
+    def test_cycle_collapsed_to_single_node(self):
+        # a: Y=f(X,Y); b: X=g(Y); c: Y=h(Y) — the Section 4 example.
+        # In W, c's writeset overlaps a's, merging them; the read-write
+        # edges then form a cycle that collapses.
+        a = _op("a", ["X", "Y"], ["Y"])
+        b = _op("b", ["Y"], ["X"])
+        c = _op("c", ["Y"], ["Y"])
+        graph = _graph(a, b, c)
+        assert len(graph) == 1
+        assert graph.nodes[0].vars == {"X", "Y"}
+
+    def test_acyclicity_always(self):
+        graph = _graph(
+            _op("a", ["X"], ["Y"]),
+            _op("b", ["Y"], ["X"]),
+            _op("c", ["X"], ["Z"]),
+        )
+        assert graph.is_acyclic()
+
+
+class TestVarsNeverShrink:
+    def test_blind_write_does_not_shrink_w(self):
+        """The W inflexibility the paper fixes: a blind overwrite of X
+        merges into X's node (writeset overlap) instead of freeing it."""
+        a = _op("a", [], ["x", "y"])
+        blind = _op("blind", [], ["x"])
+        graph = _graph(a, blind)
+        assert len(graph) == 1
+        assert graph.nodes[0].vars == {"x", "y"}
+
+
+class TestRemoval:
+    def test_remove_minimal_node(self):
+        a = _op("A", ["X", "Y"], ["Y"])
+        b = _op("B", ["Y"], ["X"])
+        graph = _graph(a, b)
+        node_a = graph.node_of(a)
+        graph.remove_node(node_a)
+        assert len(graph) == 1
+        assert graph.minimal_nodes() == [graph.node_of(b)]
+
+    def test_node_of_missing_returns_none(self):
+        a = _op("a", [], ["x"])
+        graph = _graph(a)
+        other = _op("other", [], ["y"])
+        assert graph.node_of(other) is None
+
+
+class TestNodeProperties:
+    def test_reads_writes_union(self):
+        a = _op("a", ["p"], ["x", "y"])
+        b = _op("b", ["q"], ["y"])
+        graph = _graph(a, b)
+        node = graph.nodes[0]
+        assert node.reads == {"p", "q"}
+        assert node.writes == {"x", "y"}
+        assert node.notx == set()  # W flushes everything
+
+    def test_max_lsi(self):
+        a = _op("a", [], ["x"])
+        b = _op("b", [], ["x"])
+        a.lsi, b.lsi = 5, 9
+        graph = _graph(a, b)
+        assert graph.nodes[0].max_lsi() == 9
