@@ -1,0 +1,107 @@
+"""E9 — recovery under a faulty device: exhaustive sweep + seeded fuzz.
+
+E7 established that recovery survives clean crashes at every operation
+boundary.  E9 tightens the adversary to a misbehaving *device*: for the
+same crash-matrix workload, every numbered I/O point is hit with every
+must-survive fault kind — torn intra-object write (with an immediate
+crash), transient I/O error (absorbed by bounded retry), silent
+corruption (caught by checksum, quarantined, healed by media-style
+replay) — across the cache configurations of E7, and a 500-schedule
+seeded fuzz samples multi-fault combinations.  Expected: 100%
+recovered-equals-oracle everywhere, with the retry/quarantine machinery
+visibly doing the work (nonzero counters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro import CacheConfig, GraphMode, MultiObjectStrategy
+from repro.analysis import Table, fault_summary
+from repro.kernel.torture import TortureConfig, TortureHarness
+from repro.storage import FlushTransaction, ShadowInstall
+from benchmarks.conftest import once
+
+CONFIGS = {
+    "rW + identity": lambda: CacheConfig(),
+    "rW + shadow": lambda: CacheConfig(
+        multi_object_strategy=MultiObjectStrategy.ATOMIC,
+        mechanism=ShadowInstall(),
+    ),
+    "rW + flush-txn": lambda: CacheConfig(
+        multi_object_strategy=MultiObjectStrategy.ATOMIC,
+        mechanism=FlushTransaction(),
+    ),
+    "W + shadow": lambda: CacheConfig(
+        graph_mode=GraphMode.W,
+        multi_object_strategy=MultiObjectStrategy.ATOMIC,
+        mechanism=ShadowInstall(),
+    ),
+    # Constant eviction pressure: store reads join the fault surface.
+    "rW + identity + cap4": lambda: _capacity_config(),
+}
+
+FUZZ_RUNS = 500
+
+
+def _capacity_config() -> CacheConfig:
+    from repro.cache.policies import PeelHottest
+
+    return CacheConfig(capacity=4, victim_policy=PeelHottest())
+
+
+def _campaigns() -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for name, factory in CONFIGS.items():
+        harness = TortureHarness(TortureConfig(cache_factory=factory))
+        report = harness.sweep()
+        out[name] = {"sweep": report}
+    # Fuzz on the default configuration: one long seeded campaign.
+    fuzz_harness = TortureHarness(TortureConfig())
+    out["rW + identity"]["fuzz"] = fuzz_harness.fuzz(runs=FUZZ_RUNS, seed=0)
+    return out
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_fault_sweep(benchmark):
+    results = once(benchmark, _campaigns)
+
+    table = Table(
+        "E9: fault sweep (recovered == oracle under injected faults)",
+        ["configuration", "points", "runs", "ok", "retries", "quarantines"],
+    )
+    grand_totals: Dict[str, int] = {}
+    for name, campaigns in results.items():
+        for mode in ("sweep", "fuzz"):
+            report = campaigns.get(mode)
+            if report is None:
+                continue
+            label = name if mode == "sweep" else f"{name} (fuzz x{FUZZ_RUNS})"
+            table.add_row(
+                label,
+                report.points,
+                len(report.outcomes),
+                len(report.outcomes) - len(report.failures()),
+                report.totals.get("fault_retries", 0),
+                report.totals.get("quarantines", 0),
+            )
+            for key, value in report.totals.items():
+                grand_totals[key] = grand_totals.get(key, 0) + value
+    table.print()
+    fault_summary(grand_totals, title="E9: fault ledger (all campaigns)").print()
+
+    for name, campaigns in results.items():
+        for mode, report in campaigns.items():
+            assert report.ok, (
+                f"{name} {mode} failed: "
+                + "; ".join(
+                    f"{o.description}: {o.error}" for o in report.failures()
+                )
+            )
+    # The sweep must have exercised the machinery, not tiptoed past it.
+    assert grand_totals["faults_injected"] > 0
+    assert grand_totals["fault_retries"] > 0
+    assert grand_totals["quarantines"] > 0
+    assert grand_totals["media_recoveries"] > 0

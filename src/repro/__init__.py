@@ -48,6 +48,11 @@ from repro.storage import (
     FlushTransaction,
     RawMultiWrite,
     FuzzyBackup,
+    FaultKind,
+    FaultModel,
+    FaultSpec,
+    FaultyStore,
+    FuzzRates,
 )
 from repro.kernel import (
     RecoverableSystem,
@@ -55,6 +60,9 @@ from repro.kernel import (
     CrashInjector,
     verify_recovered,
     VerificationError,
+    TortureConfig,
+    TortureHarness,
+    TortureReport,
 )
 
 __version__ = "1.0.0"
@@ -87,10 +95,18 @@ __all__ = [
     "FlushTransaction",
     "RawMultiWrite",
     "FuzzyBackup",
+    "FaultKind",
+    "FaultModel",
+    "FaultSpec",
+    "FaultyStore",
+    "FuzzRates",
     "RecoverableSystem",
     "SystemConfig",
     "CrashInjector",
     "verify_recovered",
     "VerificationError",
+    "TortureConfig",
+    "TortureHarness",
+    "TortureReport",
     "__version__",
 ]

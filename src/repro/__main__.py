@@ -1,22 +1,32 @@
-"""Self-demo: ``python -m repro``.
+"""Command-line entry: ``python -m repro [command]``.
 
-Runs a compact end-to-end scenario — logical operations across three
-domains, a crash, recovery, and verification — and prints the I/O and
-logging ledger.  A smoke check that an installation works.
+* no command / ``demo`` — a compact end-to-end scenario (logical
+  operations across three domains, a crash, recovery, verification) and
+  the I/O and logging ledger.  A smoke check that an installation works.
+* ``torture sweep`` — enumerate every numbered I/O point of a seeded
+  workload and crash-recover it under every must-survive fault kind.
+* ``torture fuzz`` — N seeded random fault schedules; any failure
+  prints the seed that reproduces it exactly
+  (``python -m repro torture fuzz --runs 1 --seed <that seed>``).
 """
 
 from __future__ import annotations
 
+import argparse
+from typing import List, Optional
+
 from repro import RecoverableSystem, verify_recovered
-from repro.analysis import Table, format_bytes
+from repro.analysis import Table, fault_summary, format_bytes
 from repro.domains import (
     ApplicationRuntime,
     RecoverableBTree,
     RecoverableFileSystem,
 )
+from repro.kernel.torture import TortureConfig, TortureHarness, TortureReport
+from repro.storage.faults import FuzzRates
 
 
-def main() -> int:
+def demo() -> int:
     print("repro — Lomet & Tuttle, SIGMOD 1999, self-demo\n")
     system = RecoverableSystem()
     fs = RecoverableFileSystem(system)
@@ -58,6 +68,104 @@ def main() -> int:
     print(table.render())
     print("\nOK — see examples/ and benchmarks/ for the full tour.")
     return 0
+
+
+def _torture_config(args: argparse.Namespace) -> TortureConfig:
+    return TortureConfig(
+        objects=args.objects,
+        operations=args.ops,
+        workload_seed=args.workload_seed,
+    )
+
+
+def _report_torture(report: TortureReport) -> int:
+    print(report.summary())
+    fault_summary(report.totals).print()
+    if report.ok:
+        return 0
+    print("\nfailing schedules:")
+    for outcome in report.failures():
+        repro_hint = (
+            f"  (reproduce: --runs 1 --seed {outcome.seed})"
+            if outcome.seed is not None
+            else ""
+        )
+        print(f"  {outcome.description}: {outcome.error}{repro_hint}")
+        if outcome.trace:
+            print(f"    faults applied: {', '.join(outcome.trace)}")
+    return 1
+
+
+def torture_sweep(args: argparse.Namespace) -> int:
+    harness = TortureHarness(_torture_config(args))
+    print(
+        f"sweeping {harness.count_points()} I/O points "
+        f"(workload seed {args.workload_seed}, {args.ops} operations)"
+    )
+    return _report_torture(harness.sweep())
+
+
+def torture_fuzz(args: argparse.Namespace) -> int:
+    harness = TortureHarness(_torture_config(args))
+    rates = FuzzRates(
+        transient=args.p_transient,
+        torn=args.p_torn,
+        corrupt=args.p_corrupt,
+    )
+    print(
+        f"fuzzing {args.runs} schedules from seed {args.seed} "
+        f"(workload seed {args.workload_seed})"
+    )
+    return _report_torture(harness.fuzz(args.runs, args.seed, rates))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="run the self-demo (the default)")
+
+    torture = sub.add_parser(
+        "torture", help="fault-injection recovery torture"
+    )
+    tsub = torture.add_subparsers(dest="mode", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ops", type=int, default=20,
+                       help="workload operations (default 20)")
+        p.add_argument("--objects", type=int, default=5,
+                       help="object population (default 5)")
+        p.add_argument("--workload-seed", type=int, default=0,
+                       help="workload/interleave seed (default 0)")
+
+    sweep = tsub.add_parser(
+        "sweep", help="every I/O point x every must-survive fault kind"
+    )
+    common(sweep)
+    sweep.set_defaults(fn=torture_sweep)
+
+    fuzz = tsub.add_parser("fuzz", help="seeded random fault schedules")
+    common(fuzz)
+    fuzz.add_argument("--runs", type=int, default=500,
+                      help="number of schedules (default 500)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base schedule seed (run i uses seed+i)")
+    fuzz.add_argument("--p-transient", type=float, default=0.02,
+                      help="per-point transient-fault rate")
+    fuzz.add_argument("--p-torn", type=float, default=0.01,
+                      help="per-point torn-write rate")
+    fuzz.add_argument("--p-corrupt", type=float, default=0.01,
+                      help="per-point corruption rate")
+    fuzz.set_defaults(fn=torture_fuzz)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command in (None, "demo"):
+        return demo()
+    return args.fn(args)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 from repro.analysis.tables import Table, format_bytes, ratio
 from repro.analysis.trace import TraceEvent, Tracer
-from repro.analysis.logstats import LogBreakdown, analyze_log
+from repro.analysis.logstats import LogBreakdown, analyze_log, fault_summary
 
 __all__ = [
     "Table",
@@ -12,4 +12,5 @@ __all__ = [
     "Tracer",
     "LogBreakdown",
     "analyze_log",
+    "fault_summary",
 ]

@@ -4,14 +4,19 @@ Summarizes a log's stable records by type and by operation kind: record
 counts, total bytes, data-value bytes.  Useful for understanding *where
 the log bytes went* — the question the paper's whole Figure 1 argument
 is about — and used by examples and tests to report log composition.
+
+Also renders the fault-injection ledger (:func:`fault_summary`): how
+many faults a torture campaign injected and how each was absorbed —
+retried, checksum-detected, quarantined, media-recovered.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping, Union
 
 from repro.analysis.tables import Table, format_bytes
+from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
 from repro.wal.records import OperationRecord
 
@@ -75,6 +80,36 @@ def _bump(bucket: Dict[str, Dict[str, int]], key: str, size: int,
     row["count"] += 1
     row["bytes"] += size
     row["value_bytes"] += value_bytes
+
+
+#: Counter name -> row label for the fault ledger, in display order.
+_FAULT_ROWS = (
+    ("faults_injected", "faults injected"),
+    ("fault_retries", "transient retries absorbed"),
+    ("checksum_failures", "checksum failures detected"),
+    ("quarantines", "versions quarantined"),
+    ("media_recoveries", "media-recovery fallbacks"),
+)
+
+
+def fault_summary(
+    stats: Union[IOStats, Mapping[str, int]],
+    title: str = "fault injection ledger",
+) -> Table:
+    """The fault/retry/quarantine counters as a printable table.
+
+    Accepts a live :class:`IOStats` or a plain counter mapping (e.g.
+    :attr:`~repro.kernel.torture.TortureReport.totals`, which sums the
+    counters across a whole torture campaign).
+    """
+    table = Table(title, ["event", "count"])
+    for name, label in _FAULT_ROWS:
+        if isinstance(stats, IOStats):
+            value = getattr(stats, name)
+        else:
+            value = stats.get(name, 0)
+        table.add_row(label, value)
+    return table
 
 
 def analyze_log(log: LogManager) -> LogBreakdown:

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.common.errors import CacheError
 from repro.common.identifiers import NULL_SI, ObjectId, StateId
+from repro.common.retry import retry_transient
 from repro.cache.config import CacheConfig, GraphMode, MultiObjectStrategy
 from repro.cache.policies import LRUEviction
 from repro.core.functions import FunctionRegistry
@@ -130,7 +131,11 @@ class CacheManager:
         """
         entry = self._entries.get(obj)
         if entry is None:
-            version = self.store.read(obj)
+            version = retry_transient(
+                lambda: self.store.read(obj),
+                stats=self.stats,
+                what=f"read {obj!r}",
+            )
             entry = CacheEntry(version.value, version.vsi, dirty=False)
             self._entries[obj] = entry
         self.heat.touch(obj)
@@ -438,7 +443,14 @@ class CacheManager:
             graph.remove_node(node)  # also W-mode graphs are throwaway
 
     def _flush_objects(self, objs: Set[ObjectId]) -> None:
-        """Write the current cached versions of ``objs`` to the store."""
+        """Write the current cached versions of ``objs`` to the store.
+
+        Transient device errors are retried with the shared bounded
+        budget: the flush mechanisms write full versions, so re-driving
+        a flush after a partial failure rewrites the same values — the
+        retry is idempotent with respect to the stable state (I/O
+        counters do record the extra attempts, as a real device would).
+        """
         if not objs:
             return
         versions: Dict[ObjectId, StoredVersion] = {}
@@ -450,14 +462,30 @@ class CacheManager:
             else:
                 versions[obj] = StoredVersion(entry.value, entry.vsi)
         if len(versions) > 1:
-            self.config.mechanism.flush(self.store, versions, self.log)
+            retry_transient(
+                lambda: self.config.mechanism.flush(
+                    self.store, versions, self.log
+                ),
+                stats=self.stats,
+                what="multi-object flush",
+            )
         elif len(versions) == 1:
             ((obj, version),) = versions.items()
-            self.config.mechanism.flush_one(self.store, obj, version)
+            retry_transient(
+                lambda: self.config.mechanism.flush_one(
+                    self.store, obj, version
+                ),
+                stats=self.stats,
+                what=f"flush {obj!r}",
+            )
         for obj in deletions:
             # Removing a terminated object is one metadata write.
             self.stats.object_writes += 1
-            self.store.delete(obj)
+            retry_transient(
+                lambda: self.store.delete(obj),
+                stats=self.stats,
+                what=f"delete {obj!r}",
+            )
 
     # ------------------------------------------------------------------
     # checkpointing

@@ -13,8 +13,12 @@ from repro.common.errors import (
     RecoveryError,
     UnknownFunctionError,
     CacheError,
+    TransientStorageError,
+    CorruptObjectError,
+    SimulatedCrash,
 )
 from repro.common.identifiers import ObjectId, StateId, NULL_SI
+from repro.common.retry import retry_transient
 from repro.common.sizes import size_of, ID_SIZE, RECORD_HEADER_SIZE
 
 __all__ = [
@@ -25,6 +29,10 @@ __all__ = [
     "RecoveryError",
     "UnknownFunctionError",
     "CacheError",
+    "TransientStorageError",
+    "CorruptObjectError",
+    "SimulatedCrash",
+    "retry_transient",
     "ObjectId",
     "StateId",
     "NULL_SI",

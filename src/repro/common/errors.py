@@ -58,3 +58,33 @@ class CacheError(ReproError):
 
 class LogTruncationError(ReproError):
     """An attempt was made to truncate the log past an uninstalled operation."""
+
+
+class TransientStorageError(ReproError, OSError):
+    """A storage I/O failed transiently and may succeed if retried.
+
+    Raised by the fault-injection layer (and catchable alongside real
+    ``OSError`` I/O failures) at any simulated device touchpoint: an
+    object read or write, a log force, an fsync.  The hardened write
+    paths retry these with bounded backoff; only after the retry budget
+    is exhausted does the error propagate.
+    """
+
+
+class CorruptObjectError(ReproError):
+    """A stored object version failed its integrity (checksum) test.
+
+    Detection — not silent garbage — is the contract: the per-object
+    CRC32 framing turns torn writes and bit rot into this error, which
+    the recovery path answers with quarantine plus media-style replay
+    from a backup image or the retained log.
+    """
+
+
+class SimulatedCrash(Exception):
+    """Base for control-flow exceptions that model a process crash.
+
+    Deliberately *not* a :class:`ReproError`: harnesses raise and catch
+    these to stop execution at an adversarial instant, then call
+    ``system.crash()``.  Library code must never swallow them.
+    """

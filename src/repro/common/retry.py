@@ -1,0 +1,60 @@
+"""Bounded retry with backoff for transient storage faults.
+
+Real devices fail transiently — a write returns ``EIO`` once and then
+succeeds, an fsync is interrupted — and a recoverable system must not
+escalate every such hiccup into a crash.  :func:`retry_transient` is the
+single retry policy shared by the hardened write paths (log force, cache
+flush, file persist): it retries :class:`TransientStorageError` a bounded
+number of times, counting each retry in the shared
+:class:`~repro.storage.stats.IOStats` ledger so torture runs can report
+how much transient noise was absorbed.
+
+Backoff is exponential but defaults to zero delay: the simulated fault
+layer injects failures deterministically, and sleeping would only slow
+the harness.  On-disk deployments that expect real transient errors can
+pass a nonzero ``base_delay``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.common.errors import TransientStorageError
+
+T = TypeVar("T")
+
+#: Default attempt budget: tolerates bursts of up to five consecutive
+#: transient failures at one I/O point before giving up.
+DEFAULT_ATTEMPTS = 6
+
+
+def retry_transient(
+    fn: Callable[[], T],
+    *,
+    attempts: int = DEFAULT_ATTEMPTS,
+    base_delay: float = 0.0,
+    stats: Optional[object] = None,
+    what: str = "storage I/O",
+) -> T:
+    """Call ``fn``, retrying on :class:`TransientStorageError`.
+
+    Retries up to ``attempts - 1`` times, sleeping
+    ``base_delay * 2**retry`` between attempts when ``base_delay`` is
+    nonzero.  Each retry bumps ``stats.fault_retries`` when a stats
+    ledger is supplied.  The final failure propagates unchanged so the
+    caller (or a torture harness) sees the exhausted-retries condition.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except TransientStorageError:
+            if attempt == attempts - 1:
+                raise
+            if stats is not None:
+                stats.fault_retries += 1
+            if base_delay > 0.0:
+                time.sleep(base_delay * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

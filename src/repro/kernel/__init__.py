@@ -11,6 +11,12 @@ from repro.kernel.system import RecoverableSystem, SystemConfig
 from repro.kernel.crash import CrashInjector, CrashNow
 from repro.kernel.verify import verify_recovered, VerificationError
 from repro.kernel.backup_manager import BackupManager
+from repro.kernel.torture import (
+    TortureConfig,
+    TortureHarness,
+    TortureOutcome,
+    TortureReport,
+)
 
 __all__ = [
     "RecoverableSystem",
@@ -20,4 +26,8 @@ __all__ = [
     "verify_recovered",
     "VerificationError",
     "BackupManager",
+    "TortureConfig",
+    "TortureHarness",
+    "TortureOutcome",
+    "TortureReport",
 ]

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from repro.common.errors import SimulatedCrash
 from repro.common.identifiers import ObjectId
 from repro.core.operation import Operation
 from repro.kernel.system import RecoverableSystem
 
 
-class CrashNow(Exception):
+class CrashNow(SimulatedCrash):
     """Raised by an armed hook at the injected crash point."""
 
 

@@ -26,13 +26,15 @@ from typing import Any, Dict, List, Optional
 
 from repro.cache.cache_manager import CacheManager
 from repro.cache.config import CacheConfig
-from repro.common.identifiers import ObjectId, StateId
+from repro.common.errors import SimulatedCrash
+from repro.common.identifiers import NULL_SI, ObjectId, StateId
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.history import History
 from repro.core.operation import Operation
 from repro.core.oracle import Oracle
 from repro.core.recovery import RecoveryManager, RecoveryReport
 from repro.core.redo import GeneralizedRedoTest, RedoTest
+from repro.storage.backup import FuzzyBackup
 from repro.storage.stable_store import StableStore
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
@@ -71,10 +73,19 @@ class RecoverableSystem:
             registry if registry is not None else default_registry()
         )
         self.stats = IOStats()
-        if store is not None:
-            store.stats = self.stats
-        if log is not None:
-            log.stats = self.stats
+        # Adopt pre-existing ledgers rather than discarding them: a
+        # file-backed store may already have quarantined corrupt frames
+        # while loading its directory, and those counts must survive
+        # the switch to the shared ledger.
+        adopted = []
+        for component in (store, log):
+            if component is None:
+                continue
+            prior = getattr(component, "stats", None)
+            if prior is not None and not any(prior is p for p in adopted):
+                self.stats.absorb(prior)
+                adopted.append(prior)
+            component.stats = self.stats
         self.store = store if store is not None else StableStore(self.stats)
         self.log = log if log is not None else LogManager(self.stats)
         self.cache = CacheManager(
@@ -110,7 +121,18 @@ class RecoverableSystem:
             raise RuntimeError("system is crashed; call recover() first")
         # Execute first: a failing operation must leave neither a log
         # record nor a history entry.
-        writes = self.cache.execute(op)
+        try:
+            writes = self.cache.execute(op)
+        except SimulatedCrash:
+            # An injected crash fired *inside* execution (a flush driven
+            # by capacity pressure, a faulted device write) after the
+            # operation was already logged.  The record may even have
+            # been forced by that flush's WAL step, so the operation's
+            # durability is decided at crash() like any other — it must
+            # be on the history for the verifier's oracle to agree.
+            if op.lsi > NULL_SI:
+                self.history.append(op)
+            raise
         self.history.append(op)
         self._maybe_auto_checkpoint()
         return writes
@@ -173,14 +195,29 @@ class RecoverableSystem:
         return lost
 
     def recover(
-        self, media_redo_start: Optional[StateId] = None
+        self,
+        media_redo_start: Optional[StateId] = None,
+        quarantine_backup: Optional["FuzzyBackup"] = None,
     ) -> RecoveryReport:
         """Run analysis + redo and adopt the outcome.
 
         ``media_redo_start`` enables media-recovery mode after a backup
         restore: the redo scan starts at the backup-start lSI with the
         per-object vSI test (see RecoveryManager.run).
+
+        Before either pass runs, the stable store is scrubbed: stored
+        versions that fail their integrity check (torn writes, bit rot)
+        are **quarantined** rather than replayed over, and recovery
+        falls back to media mode for the whole store — corrupt objects
+        are reinstated from ``quarantine_backup``'s image when one is
+        supplied (absent objects replay from scratch), and the redo
+        scan widens to the backup window (or the retained log's start)
+        so repeat-history repairs the quarantined objects while the vSI
+        test bypasses the intact ones.
         """
+        media_redo_start = self._quarantine_scrub(
+            media_redo_start, quarantine_backup
+        )
         manager = RecoveryManager(
             self.log,
             self.store,
@@ -217,6 +254,38 @@ class RecoverableSystem:
         self._crashed = False
         self.last_report = outcome.report
         return outcome.report
+
+    def _quarantine_scrub(
+        self,
+        media_redo_start: Optional[StateId],
+        backup: Optional["FuzzyBackup"],
+    ) -> Optional[StateId]:
+        """Quarantine checksum-failing versions; widen the redo window.
+
+        Returns the (possibly lowered) ``media_redo_start``.  With no
+        corruption detected this is a no-op and recovery proceeds in
+        whatever mode the caller asked for.
+        """
+        corrupt = self.store.scrub()
+        if not corrupt:
+            return media_redo_start
+        for obj in corrupt:
+            self.store.quarantine(obj)
+            self.stats.quarantines += 1
+            if backup is not None:
+                backup.restore_object(self.store, obj)
+        if backup is not None:
+            fallback = backup.start_lsi
+        else:
+            # Best effort without an image: replay the whole retained
+            # log.  Sufficient whenever the quarantined objects' full
+            # derivation is still on the log (torture harnesses pin the
+            # log via backup protection to guarantee it).
+            fallback = self.log.stable_start_lsi()
+        self.stats.media_recoveries += 1
+        if media_redo_start is None:
+            return fallback
+        return min(media_redo_start, fallback)
 
     # ------------------------------------------------------------------
     # verification support

@@ -24,5 +24,12 @@ opens only its own files; do not open untrusted database directories.
 from repro.persist.file_store import FileStableStore
 from repro.persist.file_log import FileLogManager
 from repro.persist.database import PersistentSystem
+from repro.persist.faulty import FaultyFileLog, FaultyFileStore
 
-__all__ = ["FileStableStore", "FileLogManager", "PersistentSystem"]
+__all__ = [
+    "FaultyFileLog",
+    "FaultyFileStore",
+    "FileStableStore",
+    "FileLogManager",
+    "PersistentSystem",
+]

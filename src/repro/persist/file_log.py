@@ -22,6 +22,7 @@ import zlib
 from typing import List, Optional
 
 from repro.common.identifiers import StateId
+from repro.persist.file_store import _fsync_dir
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
 from repro.wal.records import LogRecord, OperationRecord
@@ -58,7 +59,15 @@ class FileLogManager(LogManager):
             payload = data[start:end]
             if zlib.crc32(payload) != checksum:
                 break  # torn tail: corrupt frame
-            records.append(pickle.loads(payload))
+            try:
+                record = pickle.loads(payload)
+            except Exception:
+                # A frame whose checksum passes but whose payload does
+                # not decode — e.g. a zero-length payload from a torn
+                # header-only write (crc32(b"") matches a zeroed
+                # checksum field).  Same treatment: the log ends here.
+                break
+            records.append(record)
             offset = end
             good_length = end
         if good_length < len(data):
@@ -99,15 +108,12 @@ class FileLogManager(LogManager):
             handle.flush()
             os.fsync(handle.fileno())
 
-    def force(self) -> None:
-        pending = list(self._buffer)
-        super().force()
+    def _write_stable(self, pending: List[LogRecord]) -> None:
+        # File first, memory second: a transient failure before any
+        # bytes land leaves both sides untouched, so the base class's
+        # bounded retry can safely re-drive the whole append.
         self._append_frames(pending)
-
-    def force_through(self, lsi: StateId) -> None:
-        pending = [r for r in self._buffer if r.lsi <= lsi]
-        super().force_through(lsi)
-        self._append_frames(pending)
+        super()._write_stable(pending)
 
     # ------------------------------------------------------------------
     # truncation
@@ -128,6 +134,7 @@ class FileLogManager(LogManager):
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, self.path)
+            _fsync_dir(directory)
         except BaseException:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)

@@ -1,11 +1,24 @@
 """File-backed stable store: one file per object, crash-atomic writes.
 
-Each object version ``(value, vSI)`` is pickled to
-``<root>/objects/<encoded-id>.obj`` via the classic temp-file + fsync +
-atomic-rename dance, so a single-object write either fully lands or
-fully doesn't — exactly the atomicity granule the paper's model
-assumes.  Multi-object writes issued with ``atomic=False`` go one
-rename at a time and can genuinely tear across a process crash.
+Each object version ``(value, vSI)`` is written to
+``<root>/objects/<encoded-id>.obj`` as a checksummed frame —
+``magic || [length][crc32] || pickle bytes``, mirroring the WAL's frame
+format — via the classic temp-file + fsync + atomic-rename dance, so a
+single-object write either fully lands or fully doesn't — exactly the
+atomicity granule the paper's model assumes.  Multi-object writes
+issued with ``atomic=False`` go one rename at a time and can genuinely
+tear across a process crash.
+
+The framing is the detection layer: a torn or bit-rotted object file
+fails its length/checksum test on load and is **quarantined** (moved to
+``<root>/quarantine/``) instead of raising a bare unpickling error or
+silently returning garbage; recovery then replays the object from the
+log (see ``RecoverableSystem.recover``'s quarantine fallback).
+
+Durability detail that the original rename dance missed: ``os.replace``
+and ``os.unlink`` mutate the *directory*, and a metadata-losing crash
+can undo them unless the directory itself is fsynced — so every rename
+and unlink here is followed by :func:`_fsync_dir`.
 
 Object ids are percent-encoded into file names (ids contain ``:`` and
 may contain ``/``).
@@ -15,15 +28,21 @@ from __future__ import annotations
 
 import os
 import pickle
+import struct
 import tempfile
 import urllib.parse
-from typing import Any, Optional
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common.errors import CorruptObjectError
 from repro.common.identifiers import ObjectId, StateId
+from repro.common.retry import retry_transient
 from repro.storage.stable_store import StableStore, StoredVersion
 from repro.storage.stats import IOStats
 
 _SUFFIX = ".obj"
+_MAGIC = b"ROBJ1\n"
+_HEADER = struct.Struct("<II")  # payload length, crc32
 
 
 def _encode(obj: ObjectId) -> str:
@@ -34,43 +53,126 @@ def _decode(filename: str) -> ObjectId:
     return urllib.parse.unquote(filename[: -len(_SUFFIX)])
 
 
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so renames/unlinks inside it are durable.
+
+    Platforms that cannot open directories for fsync (some filesystems
+    refuse) are tolerated: the rename itself still happened, and the
+    simulator's correctness does not depend on the host's metadata
+    journaling — this is the real-deployment hardening.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _frame(value: Any, vsi: StateId) -> bytes:
+    """Serialize one version as a checksummed frame."""
+    payload = pickle.dumps((value, vsi))
+    return _MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _unframe(data: bytes, origin: str) -> Tuple[Any, StateId]:
+    """Parse a frame, raising :class:`CorruptObjectError` on any damage."""
+    if not data.startswith(_MAGIC):
+        raise CorruptObjectError(f"{origin}: bad magic (torn or foreign file)")
+    body = data[len(_MAGIC) :]
+    if len(body) < _HEADER.size:
+        raise CorruptObjectError(f"{origin}: truncated header")
+    length, checksum = _HEADER.unpack_from(body, 0)
+    payload = body[_HEADER.size : _HEADER.size + length]
+    if len(payload) < length:
+        raise CorruptObjectError(f"{origin}: truncated payload (torn write)")
+    if zlib.crc32(payload) != checksum:
+        raise CorruptObjectError(f"{origin}: checksum mismatch (bit rot)")
+    try:
+        value, vsi = pickle.loads(payload)
+    except Exception as exc:
+        raise CorruptObjectError(f"{origin}: undecodable payload: {exc}")
+    return value, vsi
+
+
 class FileStableStore(StableStore):
     """A StableStore whose contents live under ``root/objects``.
 
     The in-memory version map acts as a read cache over the files; the
     files are the durable truth and are reloaded on construction.
+    Corrupt files discovered at load time are quarantined immediately
+    and surfaced through :meth:`scrub` so the recovery path replays
+    them from the log.
     """
 
     def __init__(self, root: str, stats: Optional[IOStats] = None) -> None:
         super().__init__(stats)
         self.root = root
         self._dir = os.path.join(root, "objects")
+        self._quarantine_dir = os.path.join(root, "quarantine")
         os.makedirs(self._dir, exist_ok=True)
+        #: Objects quarantined but not yet reported through scrub():
+        #: obj -> reason.  Load-time detections land here.
+        self._pending_quarantine: Dict[ObjectId, str] = {}
         self._load()
 
     def _load(self) -> None:
-        for name in os.listdir(self._dir):
+        for name in sorted(os.listdir(self._dir)):
             if not name.endswith(_SUFFIX):
                 continue
+            obj = _decode(name)
             path = os.path.join(self._dir, name)
             with open(path, "rb") as handle:
-                value, vsi = pickle.load(handle)
+                data = handle.read()
+            try:
+                value, vsi = _unframe(data, f"object file {name}")
+            except CorruptObjectError as exc:
+                self.stats.checksum_failures += 1
+                self._quarantine_file(name)
+                self._pending_quarantine[obj] = str(exc)
+                continue
             # Populate the base map directly: loading is not an I/O
             # event of the simulated workload.
-            self._versions[_decode(name)] = StoredVersion(value, vsi)
+            self._versions[obj] = StoredVersion(value, vsi)
+
+    def _quarantine_file(self, name: str) -> None:
+        os.makedirs(self._quarantine_dir, exist_ok=True)
+        source = os.path.join(self._dir, name)
+        if os.path.exists(source):
+            os.replace(source, os.path.join(self._quarantine_dir, name))
+            _fsync_dir(self._quarantine_dir)
+            _fsync_dir(self._dir)
 
     # ------------------------------------------------------------------
     # durable write path
     # ------------------------------------------------------------------
     def _persist(self, obj: ObjectId, version: StoredVersion) -> None:
+        frame = _frame(version.value, version.vsi)
+        retry_transient(
+            lambda: self._write_frame(obj, frame),
+            stats=self.stats,
+            what=f"persist {obj!r}",
+        )
+
+    def _write_frame(self, obj: ObjectId, frame: bytes) -> None:
+        """One durable object-file replacement (the device touchpoint).
+
+        Overridden by the fault-injecting file store; transient failures
+        raised from here are re-driven whole by :meth:`_persist`.
+        """
         final_path = os.path.join(self._dir, _encode(obj))
         fd, tmp_path = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump((version.value, version.vsi), handle)
+                handle.write(frame)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, final_path)
+            _fsync_dir(self._dir)
         except BaseException:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
@@ -103,15 +205,64 @@ class FileStableStore(StableStore):
 
     def delete(self, obj: ObjectId) -> None:
         super().delete(obj)
+        retry_transient(
+            lambda: self._unlink(obj),
+            stats=self.stats,
+            what=f"unlink {obj!r}",
+        )
+
+    def _unlink(self, obj: ObjectId) -> None:
         path = os.path.join(self._dir, _encode(obj))
         if os.path.exists(path):
             os.unlink(path)
+            _fsync_dir(self._dir)
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def scrub(self) -> List[ObjectId]:
+        """Re-verify every object file; return all failing objects.
+
+        Includes objects already quarantined at load time (their replay
+        is still owed) plus any damage that landed after load — e.g. a
+        fault-injected torn write whose in-memory copy looks fine.
+        """
+        bad = list(self._pending_quarantine)
+        for name in sorted(os.listdir(self._dir)):
+            if not name.endswith(_SUFFIX):
+                continue
+            path = os.path.join(self._dir, name)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            try:
+                _unframe(data, f"object file {name}")
+            except CorruptObjectError:
+                self.stats.checksum_failures += 1
+                obj = _decode(name)
+                if obj not in bad:
+                    bad.append(obj)
+        return bad
+
+    def quarantine(self, obj: ObjectId) -> None:
+        super().quarantine(obj)
+        self._pending_quarantine.pop(obj, None)
+        self._quarantine_file(_encode(obj))
+
+    def restore_version(
+        self, obj: ObjectId, version: Optional[StoredVersion]
+    ) -> None:
+        super().restore_version(obj, version)
+        if version is None:
+            self._unlink(obj)
+        else:
+            self._persist(obj, version)
 
     def restore_versions(self, versions) -> None:
         """Media-recovery restore: replace the directory contents."""
         for name in os.listdir(self._dir):
             if name.endswith(_SUFFIX):
                 os.unlink(os.path.join(self._dir, name))
+        _fsync_dir(self._dir)
         super().restore_versions(versions)
         for obj, version in versions.items():
             self._persist(obj, version)

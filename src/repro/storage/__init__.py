@@ -20,6 +20,14 @@ from repro.storage.atomic import (
     FlushTransaction,
 )
 from repro.storage.backup import FuzzyBackup
+from repro.storage.faults import (
+    FaultCrash,
+    FaultKind,
+    FaultModel,
+    FaultSpec,
+    FaultyStore,
+    FuzzRates,
+)
 
 __all__ = [
     "IOStats",
@@ -30,4 +38,10 @@ __all__ = [
     "ShadowInstall",
     "FlushTransaction",
     "FuzzyBackup",
+    "FaultCrash",
+    "FaultKind",
+    "FaultModel",
+    "FaultSpec",
+    "FaultyStore",
+    "FuzzRates",
 ]

@@ -79,5 +79,18 @@ class FuzzyBackup:
             raise ValueError("cannot restore an unfinished backup")
         store.restore_versions(self._image)
 
+    def restore_object(self, store: StableStore, obj: ObjectId) -> None:
+        """Restore one object from the image (absent in image = remove).
+
+        This is the quarantine fallback: a stored version that failed
+        its checksum is replaced by the (older) backed-up version, and a
+        media-style redo pass from ``start_lsi`` repeats history onto
+        it.  As with a full restore, replaying the suffix is what makes
+        the result correct.
+        """
+        if not self._finished:
+            raise ValueError("cannot restore from an unfinished backup")
+        store.restore_version(obj, self._image.get(obj))
+
     def __len__(self) -> int:
         return len(self._image)

@@ -1,0 +1,425 @@
+"""Faulty-storage simulation: seeded fault schedules over numbered I/O.
+
+The crash harness (:mod:`repro.kernel.crash`) models *clean* crashes:
+volatile state vanishes at an op or flush boundary and stable storage is
+pristine.  Real storage misbehaves in richer ways — a write fails once
+and then succeeds, a write tears inside one object, a page bit-rots
+silently, an fsync fails or (worse) lies — and recovery has to stay
+correct in exactly that regime.  This module provides the adversary:
+
+* every device touchpoint (object read/write/delete, log force, file
+  persist) is a **numbered I/O point** — the store and log wrappers call
+  :meth:`FaultModel.fire` at each one;
+* a :class:`FaultModel` decides, from an explicit schedule (sweep mode)
+  or a seeded per-point draw (fuzz mode), whether that point faults and
+  how;
+* :class:`FaultyStore` wraps the in-memory stable store with the model,
+  damaging stored versions for torn/corrupt faults and verifying a
+  per-object CRC32 on every read so the damage is *detected*, never
+  silently returned.
+
+Fault vocabulary (the classic storage-fault taxonomy):
+
+=============  =====================================================
+TRANSIENT      the I/O raises :class:`TransientStorageError`; a retry
+               (bounded, see :mod:`repro.common.retry`) succeeds.
+TORN           a write lands partially — the stored bytes are a
+               damaged variant of the intended value.
+CORRUPT        silent bit rot: an already-stored version is damaged
+               after the fact, checksum left stale.
+FSYNC_FAIL     a log force raises transiently (alias of TRANSIENT at
+               log points; named for schedules that target the WAL).
+FSYNC_LIE      the force reports success but the records are not
+               durable — a subsequent crash loses them.
+SLOW           the I/O succeeds after a modelled delay (counted, not
+               slept).
+=============  =====================================================
+
+Determinism is the point: a schedule is fully described by either its
+spec list or its ``(seed, rates)`` pair, so every failing torture run is
+reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+from repro.common.errors import (
+    CorruptObjectError,
+    SimulatedCrash,
+    TransientStorageError,
+)
+from repro.common.identifiers import ObjectId, StateId
+from repro.common.rng import make_rng
+from repro.storage.stable_store import StableStore, StoredVersion
+from repro.storage.stats import IOStats
+
+
+class FaultCrash(SimulatedCrash):
+    """Raised when a fault spec demands a crash at its I/O point."""
+
+
+class FaultKind(enum.Enum):
+    """The storage misbehaviours the model can inject."""
+
+    TRANSIENT = "io-error"
+    TORN = "torn"
+    CORRUPT = "corrupt"
+    FSYNC_FAIL = "fsync-fail"
+    FSYNC_LIE = "fsync-lie"
+    SLOW = "slow"
+
+
+#: Kinds that raise a retryable error instead of damaging state.
+_TRANSIENT_KINDS = frozenset({FaultKind.TRANSIENT, FaultKind.FSYNC_FAIL})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what happens at which numbered I/O point."""
+
+    point: int
+    kind: FaultKind
+    #: For transient kinds: how many consecutive attempts fail before
+    #: the I/O succeeds.  Retry budgets above this recover transparently.
+    times: int = 1
+    #: Raise :class:`FaultCrash` right after the damage lands — the most
+    #: adversarial moment to lose the machine.
+    crash: bool = False
+
+    def describe(self) -> str:
+        """Compact schedule notation, e.g. ``torn@17!`` (``!`` = crash)."""
+        tail = f"x{self.times}" if self.times != 1 else ""
+        bang = "!" if self.crash else ""
+        return f"{self.kind.value}@{self.point}{tail}{bang}"
+
+
+@dataclass
+class FuzzRates:
+    """Per-I/O-point fault probabilities for fuzz mode."""
+
+    transient: float = 0.02
+    torn: float = 0.01
+    corrupt: float = 0.01
+    fsync_lie: float = 0.0
+    #: Probability that a damaging (torn/corrupt) fault also crashes.
+    crash_given_fault: float = 0.5
+    #: Max consecutive failures for one transient fault (kept under the
+    #: retry budget so transients recover transparently).
+    max_times: int = 2
+
+
+class FaultModel:
+    """Decides, per numbered I/O point, whether and how to fault.
+
+    Two construction modes:
+
+    * ``FaultModel(specs=[FaultSpec(...)])`` — explicit schedule, used
+      by the sweep harness (one fault at one known point);
+    * ``FaultModel.fuzz(seed, rates)`` — seeded independent draws at
+      every point, used by the fuzz harness.  The same seed always
+      yields the same schedule.
+
+    A model with neither specs nor rates is a pure **counting** model:
+    it numbers the I/O points of a workload without injecting anything,
+    which is how the sweep harness learns the fault-point space.
+
+    The model is consulted through :meth:`fire`; ``armed`` gates it so a
+    harness can switch faults off during recovery and verification.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[FaultSpec] = (),
+        *,
+        armed: bool = True,
+    ) -> None:
+        self._specs: Dict[int, FaultSpec] = {}
+        for spec in specs:
+            if spec.point in self._specs:
+                raise ValueError(f"duplicate fault point {spec.point}")
+            self._specs[spec.point] = spec
+        self._rng = None
+        self._rates: Optional[FuzzRates] = None
+        self.armed = armed
+        #: Next I/O point number to be consumed.
+        self.next_point = 0
+        #: Remaining consecutive failures of an in-flight transient
+        #: fault; retries of the same I/O do not consume new points.
+        self._transient_remaining = 0
+        #: Every fault actually applied, in order — the run's fault
+        #: trace, used for reproducibility checks and failure reports.
+        self.fired: List[FaultSpec] = []
+
+    @classmethod
+    def fuzz(cls, seed: int, rates: Optional[FuzzRates] = None) -> "FaultModel":
+        """A model drawing faults independently at every point."""
+        model = cls()
+        model._rng = make_rng(seed)
+        model._rates = rates if rates is not None else FuzzRates()
+        return model
+
+    # ------------------------------------------------------------------
+    # the consultation protocol
+    # ------------------------------------------------------------------
+    def fire(
+        self,
+        site: str,
+        detail: str = "",
+        *,
+        can: FrozenSet[FaultKind] = frozenset(),
+        stats: Optional[IOStats] = None,
+    ) -> Optional[FaultSpec]:
+        """Consume one I/O point; fault it per the schedule.
+
+        ``can`` lists the damage kinds meaningful at this site (a read
+        cannot tear, an in-memory force cannot bit-rot); transient kinds
+        are meaningful everywhere and are raised from here as
+        :class:`TransientStorageError`.  Damage kinds in ``can`` are
+        returned for the caller to apply; scheduled kinds *not* in
+        ``can`` are benign no-ops (the sweep grid includes them so every
+        point × kind cell runs).
+
+        Retries of a failed I/O re-enter here while a transient fault is
+        still burning down its ``times`` budget; those attempts do not
+        consume new point numbers, so fault-point numbering is identical
+        between a counting run and any faulted run.
+        """
+        if not self.armed:
+            return None
+        if self._transient_remaining > 0:
+            self._transient_remaining -= 1
+            if stats is not None:
+                stats.faults_injected += 1
+            raise TransientStorageError(
+                f"injected transient fault (retry) at {site} {detail}"
+            )
+        point = self.next_point
+        self.next_point += 1
+        spec = self._decide(point, site)
+        if spec is None:
+            return None
+        if spec.kind in _TRANSIENT_KINDS:
+            self._transient_remaining = spec.times - 1
+            self.fired.append(spec)
+            if stats is not None:
+                stats.faults_injected += 1
+            raise TransientStorageError(
+                f"injected {spec.describe()} at {site} {detail}"
+            )
+        if spec.kind is FaultKind.SLOW:
+            # Slow I/O is accounted, not slept: the simulator has no
+            # clock, and the interesting property is that slowness is
+            # *harmless* to correctness.
+            self.fired.append(spec)
+            if stats is not None:
+                stats.faults_injected += 1
+                stats.bump("slow_ios")
+            return None
+        if spec.kind not in can:
+            return None
+        self.fired.append(spec)
+        if stats is not None:
+            stats.faults_injected += 1
+        return spec
+
+    def _decide(self, point: int, site: str) -> Optional[FaultSpec]:
+        if self._rates is not None:
+            return self._draw(point)
+        return self._specs.get(point)
+
+    def _draw(self, point: int) -> Optional[FaultSpec]:
+        rates = self._rates
+        rng = self._rng
+        roll = rng.random()
+        edge = rates.transient
+        if roll < edge:
+            return FaultSpec(
+                point,
+                FaultKind.TRANSIENT,
+                times=rng.randint(1, max(1, rates.max_times)),
+            )
+        edge += rates.torn
+        if roll < edge:
+            crash = rng.random() < rates.crash_given_fault
+            return FaultSpec(point, FaultKind.TORN, crash=crash)
+        edge += rates.corrupt
+        if roll < edge:
+            crash = rng.random() < rates.crash_given_fault
+            return FaultSpec(point, FaultKind.CORRUPT, crash=crash)
+        edge += rates.fsync_lie
+        if roll < edge:
+            return FaultSpec(point, FaultKind.FSYNC_LIE)
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def trace(self) -> List[str]:
+        """The applied faults in schedule notation."""
+        return [spec.describe() for spec in self.fired]
+
+    @staticmethod
+    def crash_if_demanded(spec: Optional[FaultSpec]) -> None:
+        """Raise :class:`FaultCrash` when the (applied) spec asks for it."""
+        if spec is not None and spec.crash:
+            raise FaultCrash(f"crash demanded by {spec.describe()}")
+
+
+# ----------------------------------------------------------------------
+# damage representation
+# ----------------------------------------------------------------------
+def _checksum(version: StoredVersion) -> int:
+    """Integrity checksum of a stored version (value + vSI)."""
+    return zlib.crc32(pickle.dumps((version.value, version.vsi)))
+
+
+def _damaged_value(value: Any, kind: FaultKind, point: int) -> bytes:
+    """A deterministic damaged variant of ``value``.
+
+    Torn writes keep a recognizable prefix of the intended bytes (the
+    part that landed); corruption flips a bit of the serialized form.
+    Either way the result fails the checksum of the intended version.
+    """
+    raw = pickle.dumps(value)
+    if kind is FaultKind.TORN:
+        return b"\x00TORN\x00" + raw[: max(1, len(raw) // 2)]
+    flip = point % max(1, len(raw))
+    return raw[:flip] + bytes([raw[flip] ^ 0x40]) + raw[flip + 1 :]
+
+
+class FaultyStore(StableStore):
+    """A stable store whose device is described by a :class:`FaultModel`.
+
+    Every read, write and delete consults the model.  The store keeps a
+    CRC32 per object (the in-memory analogue of the file store's framed
+    checksums): torn and corrupt faults damage the stored version while
+    leaving the checksum describing the *intended* version, so
+    :meth:`read` detects the damage and raises
+    :class:`CorruptObjectError`, and :meth:`scrub` finds it before a
+    redo pass can replay over garbage.
+    """
+
+    def __init__(
+        self, model: FaultModel, stats: Optional[IOStats] = None
+    ) -> None:
+        super().__init__(stats)
+        self.model = model
+        self._crcs: Dict[ObjectId, int] = {}
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, obj: ObjectId) -> StoredVersion:
+        spec = self.model.fire(
+            "store.read",
+            obj,
+            can=frozenset({FaultKind.CORRUPT}),
+            stats=self.stats,
+        )
+        if spec is not None and obj in self._versions:
+            # Bit rot discovered by the read that touches it.
+            good = self._versions[obj]
+            self._versions[obj] = StoredVersion(
+                _damaged_value(good.value, spec.kind, spec.point), good.vsi
+            )
+        version = super().read(obj)
+        self._verify(obj, version)
+        return version
+
+    def _verify(self, obj: ObjectId, version: StoredVersion) -> None:
+        expected = self._crcs.get(obj)
+        if expected is None:
+            return
+        if _checksum(version) != expected:
+            self.stats.checksum_failures += 1
+            raise CorruptObjectError(
+                f"stored version of {obj!r} failed its checksum"
+            )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write(self, obj: ObjectId, value: Any, vsi: StateId) -> None:
+        self._faulty_put(obj, StoredVersion(value, vsi), count=True)
+
+    def write_many(
+        self,
+        versions: Mapping[ObjectId, StoredVersion],
+        atomic: bool,
+        count: bool = True,
+    ) -> None:
+        # Each object write is one device I/O whether or not the set is
+        # installed atomically — an atomicity mechanism orders failure
+        # visibility, it does not remove the device operations.
+        for obj, version in versions.items():
+            if not atomic and self.mid_write_hook is not None:
+                self.mid_write_hook(obj)
+            self._faulty_put(obj, version, count=count)
+
+    def _faulty_put(
+        self, obj: ObjectId, version: StoredVersion, count: bool
+    ) -> None:
+        spec = self.model.fire(
+            "store.write",
+            obj,
+            can=frozenset({FaultKind.TORN, FaultKind.CORRUPT}),
+            stats=self.stats,
+        )
+        if count:
+            self.stats.object_writes += 1
+        good_crc = _checksum(version)
+        if spec is None:
+            self._versions[obj] = version
+            self._crcs[obj] = good_crc
+            return
+        # Torn: garbage landed mid-write.  Corrupt: the write landed,
+        # then the medium rotted it.  Either way the checksum describes
+        # the *intended* version, so integrity passes catch the damage.
+        self._versions[obj] = StoredVersion(
+            _damaged_value(version.value, spec.kind, spec.point), version.vsi
+        )
+        self._crcs[obj] = good_crc
+        self.model.crash_if_demanded(spec)
+
+    def delete(self, obj: ObjectId) -> None:
+        self.model.fire("store.delete", obj, stats=self.stats)
+        super().delete(obj)
+        self._crcs.pop(obj, None)
+
+    # ------------------------------------------------------------------
+    # integrity / restore (recovery paths: never faulted)
+    # ------------------------------------------------------------------
+    def scrub(self) -> List[ObjectId]:
+        bad: List[ObjectId] = []
+        for obj, version in self._versions.items():
+            expected = self._crcs.get(obj)
+            if expected is not None and _checksum(version) != expected:
+                self.stats.checksum_failures += 1
+                bad.append(obj)
+        return bad
+
+    def quarantine(self, obj: ObjectId) -> None:
+        super().quarantine(obj)
+        self._crcs.pop(obj, None)
+
+    def restore_version(
+        self, obj: ObjectId, version: Optional[StoredVersion]
+    ) -> None:
+        super().restore_version(obj, version)
+        if version is None:
+            self._crcs.pop(obj, None)
+        else:
+            self._crcs[obj] = _checksum(version)
+
+    def restore_versions(
+        self, versions: Mapping[ObjectId, StoredVersion]
+    ) -> None:
+        super().restore_versions(versions)
+        self._crcs = {
+            obj: _checksum(version) for obj, version in versions.items()
+        }

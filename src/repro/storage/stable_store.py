@@ -127,6 +127,38 @@ class StableStore:
         self._versions.pop(obj, None)
 
     # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def scrub(self) -> List[ObjectId]:
+        """Verify stored versions; return the objects that failed.
+
+        The in-memory base store has no independent integrity record, so
+        nothing can be detected here — subclasses that carry per-object
+        checksums (the fault-injecting store, the file store's CRC32
+        framing) override this.  Recovery calls it before the redo pass
+        so corruption is quarantined rather than replayed over.
+        """
+        return []
+
+    def quarantine(self, obj: ObjectId) -> None:
+        """Take a failed version out of service (no I/O accounting).
+
+        The version is removed so readers see "absent" rather than
+        garbage; media-style recovery then reinstates the object from a
+        backup image and/or log replay.
+        """
+        self._versions.pop(obj, None)
+
+    def restore_version(
+        self, obj: ObjectId, version: Optional[StoredVersion]
+    ) -> None:
+        """Media-recovery restore of one object (``None`` removes it)."""
+        if version is None:
+            self._versions.pop(obj, None)
+        else:
+            self._versions[obj] = version
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def copy_versions(self) -> Dict[ObjectId, StoredVersion]:

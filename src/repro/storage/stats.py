@@ -50,6 +50,21 @@ class IOStats:
         Recovery-pass outcome counters.
     log_records_scanned:
         Log records examined during the redo pass.
+    faults_injected:
+        Storage faults fired by an attached fault model (transient
+        errors, torn writes, corruption, lying fsyncs).
+    fault_retries:
+        Transient faults absorbed by a hardened write path's bounded
+        retry loop.
+    checksum_failures:
+        Stored versions whose integrity (CRC) test failed on read or
+        during a pre-recovery scrub.
+    quarantines:
+        Corrupt stored versions quarantined (removed from service)
+        before recovery replayed them from a backup image or the log.
+    media_recoveries:
+        Recovery runs that fell back to media-style replay because of
+        quarantined versions.
     """
 
     object_writes: int = 0
@@ -68,6 +83,11 @@ class IOStats:
     redo_skipped: int = 0
     redo_voided: int = 0
     log_records_scanned: int = 0
+    faults_injected: int = 0
+    fault_retries: int = 0
+    checksum_failures: int = 0
+    quarantines: int = 0
+    media_recoveries: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, int]:
@@ -88,6 +108,22 @@ class IOStats:
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment an ad-hoc counter kept in ``extra``."""
         self.extra[name] = self.extra.get(name, 0) + amount
+
+    def absorb(self, other: "IOStats") -> None:
+        """Add another ledger's counts into this one.
+
+        Used when a system adopts a store or log that already
+        accumulated counters before the shared ledger existed — e.g. a
+        file-backed store that quarantined corrupt frames while loading
+        the directory.  Without this, those early counts would be
+        silently dropped when the component's ``stats`` is replaced.
+        """
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
 
     def total_device_writes(self) -> int:
         """All object-value writes that hit the simulated device.

@@ -18,8 +18,10 @@ from repro.wal.records import (
     FlushTxnCommitRecord,
 )
 from repro.wal.log_manager import LogManager
+from repro.wal.faulty_log import FaultyLog
 
 __all__ = [
+    "FaultyLog",
     "LogRecord",
     "OperationRecord",
     "InstallationRecord",

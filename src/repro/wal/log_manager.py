@@ -19,6 +19,7 @@ from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.common.errors import LogTruncationError, WALViolationError
 from repro.common.identifiers import NULL_SI, ObjectId, StateId
+from repro.common.retry import retry_transient
 from repro.core.operation import Operation
 from repro.storage.stable_store import StoredVersion
 from repro.storage.stats import IOStats
@@ -82,10 +83,7 @@ class LogManager:
     # ------------------------------------------------------------------
     def force(self) -> None:
         """Force the whole volatile buffer to the stable log."""
-        if self._buffer:
-            self._stable.extend(self._buffer)
-            self._buffer.clear()
-            self.stats.log_forces += 1
+        self._force_records(len(self._buffer))
 
     def force_through(self, lsi: StateId) -> None:
         """Force the buffer prefix up to and including ``lsi``.
@@ -99,9 +97,38 @@ class LogManager:
         cut = 0
         while cut < len(self._buffer) and self._buffer[cut].lsi <= lsi:
             cut += 1
-        self._stable.extend(self._buffer[:cut])
-        del self._buffer[:cut]
+        self._force_records(cut)
+
+    def _force_records(self, count: int) -> None:
+        """Move the first ``count`` buffered records to the stable log.
+
+        The device touch itself is :meth:`_write_stable`, which fault
+        models and file backends override; a transiently failing force
+        (an fsync that returns an error) is retried here with a bounded
+        budget rather than escalated — the retry is what the paper's
+        "stable log" abstraction quietly assumes.
+        """
+        if count <= 0:
+            return
+        pending = self._buffer[:count]
+        retry_transient(
+            lambda: self._write_stable(pending),
+            stats=self.stats,
+            what="log force",
+        )
         self.stats.log_forces += 1
+
+    def _write_stable(self, pending: List[LogRecord]) -> None:
+        """Append ``pending`` (a buffer prefix) to the stable log.
+
+        Overridden by the file backend (append + fsync frames first) and
+        by the fault-injecting log (which may fail transiently, tear the
+        append, or lie about durability).  Must either complete fully or
+        leave buffer/stable untouched before raising a transient error,
+        so a retry is safe.
+        """
+        self._stable.extend(pending)
+        del self._buffer[: len(pending)]
 
     def assert_stable(self, lsi: StateId) -> None:
         """Raise WALViolationError unless ``lsi`` is on the stable log."""

@@ -1,0 +1,240 @@
+"""Tests for the faulty-storage simulation layer (repro.storage.faults,
+repro.wal.faulty_log, repro.common.retry)."""
+
+import pytest
+
+from repro.common.errors import CorruptObjectError, TransientStorageError
+from repro.common.retry import retry_transient
+from repro.kernel.system import RecoverableSystem, SystemConfig
+from repro.kernel.verify import VerificationError, verify_recovered
+from repro.storage.faults import (
+    FaultCrash,
+    FaultKind,
+    FaultModel,
+    FaultSpec,
+    FaultyStore,
+    FuzzRates,
+)
+from repro.storage.stats import IOStats
+from repro.wal.faulty_log import FaultyLog
+from repro.workloads import register_workload_functions
+from tests.conftest import physical
+
+
+class TestRetryTransient:
+    def test_absorbs_within_budget(self):
+        stats = IOStats()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientStorageError("flake")
+            return "ok"
+
+        assert retry_transient(flaky, stats=stats) == "ok"
+        assert calls["n"] == 3
+        assert stats.fault_retries == 2
+
+    def test_raises_past_budget(self):
+        def always():
+            raise TransientStorageError("flake")
+
+        with pytest.raises(TransientStorageError):
+            retry_transient(always, attempts=3)
+
+    def test_non_transient_errors_pass_through_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            retry_transient(broken)
+        assert calls["n"] == 1
+
+
+class TestFaultModel:
+    def test_counting_model_numbers_points(self):
+        model = FaultModel()
+        for _ in range(4):
+            model.fire("store.write", "x")
+        assert model.next_point == 4
+        assert model.fired == []
+
+    def test_scheduled_transient_raises_times_then_clears(self):
+        model = FaultModel([FaultSpec(0, FaultKind.TRANSIENT, times=2)])
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                model.fire("store.write", "x")
+        # Third attempt of the same I/O succeeds...
+        assert model.fire("store.write", "x") is None
+        # ...and consumed only ONE point: retries don't renumber.
+        assert model.next_point == 2
+
+    def test_damage_kind_not_in_can_is_benign(self):
+        model = FaultModel([FaultSpec(0, FaultKind.TORN)])
+        assert model.fire("store.read", "x", can=frozenset()) is None
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel(
+                [
+                    FaultSpec(3, FaultKind.TORN),
+                    FaultSpec(3, FaultKind.CORRUPT),
+                ]
+            )
+
+    def test_disarmed_model_consumes_nothing(self):
+        model = FaultModel([FaultSpec(0, FaultKind.TORN)], armed=False)
+        assert model.fire("store.write", "x") is None
+        assert model.next_point == 0
+
+    def test_fuzz_is_deterministic_in_seed(self):
+        def schedule(seed):
+            model = FaultModel.fuzz(seed, FuzzRates(transient=0.3, torn=0.2))
+            decisions = []
+            for index in range(50):
+                try:
+                    spec = model.fire(
+                        "store.write",
+                        str(index),
+                        can=frozenset({FaultKind.TORN}),
+                    )
+                    decisions.append(spec.describe() if spec else "-")
+                except TransientStorageError:
+                    decisions.append("io-error")
+            return decisions
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_slow_fault_counts_but_passes(self):
+        stats = IOStats()
+        model = FaultModel([FaultSpec(0, FaultKind.SLOW)])
+        assert model.fire("store.write", "x", stats=stats) is None
+        assert stats.faults_injected == 1
+        assert stats.extra["slow_ios"] == 1
+
+
+class TestFaultyStore:
+    def _store(self, *specs):
+        return FaultyStore(FaultModel(specs))
+
+    def test_clean_roundtrip(self):
+        store = self._store()
+        store.write("x", b"v", 1)
+        assert store.read("x").value == b"v"
+
+    def test_torn_write_detected_on_read(self):
+        store = self._store(FaultSpec(0, FaultKind.TORN))
+        store.write("x", b"value", 1)
+        with pytest.raises(CorruptObjectError):
+            store.read("x")
+        assert store.stats.checksum_failures == 1
+
+    def test_corrupt_read_detected(self):
+        store = self._store(FaultSpec(1, FaultKind.CORRUPT))
+        store.write("x", b"value", 1)  # point 0: clean
+        with pytest.raises(CorruptObjectError):
+            store.read("x")  # point 1: bit rot hits this read
+
+    def test_scrub_finds_damage_without_reading(self):
+        store = self._store(FaultSpec(0, FaultKind.TORN))
+        store.write("x", b"value", 1)
+        assert store.scrub() == ["x"]
+
+    def test_quarantine_then_restore_heals(self):
+        store = self._store(FaultSpec(0, FaultKind.TORN))
+        store.write("x", b"value", 1)
+        store.quarantine("x")
+        assert not store.contains("x")
+        store.write("x", b"value", 1)  # replay (no fault at point 1)
+        assert store.read("x").value == b"value"
+        assert store.scrub() == []
+
+    def test_crash_demand_raises_after_damage(self):
+        store = self._store(FaultSpec(0, FaultKind.TORN, crash=True))
+        with pytest.raises(FaultCrash):
+            store.write("x", b"value", 1)
+        # The torn bytes landed before the machine died.
+        assert store.scrub() == ["x"]
+
+
+class TestFaultyLog:
+    def _system(self, *specs):
+        model = FaultModel(specs)
+        system = RecoverableSystem(
+            SystemConfig(), log=FaultyLog(model)
+        )
+        register_workload_functions(system.registry)
+        return system, model
+
+    def test_transient_force_is_invisible(self):
+        system, _ = self._system(FaultSpec(0, FaultKind.TRANSIENT, times=2))
+        system.execute(physical("x", b"1"))
+        system.log.force()
+        assert system.stats.fault_retries == 2
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+
+    def test_torn_force_loses_only_a_suffix(self):
+        system, _ = self._system(FaultSpec(0, FaultKind.TORN))
+        system.execute(physical("x", b"1"))
+        system.execute(physical("y", b"2"))
+        with pytest.raises(FaultCrash):
+            system.log.force()
+        lost = system.crash()
+        # The torn force landed x's record and dropped y's.
+        assert [op.name for op in lost] == ["wp(y)"]
+        system.recover()
+        verify_recovered(system)
+        assert system.peek("x") == b"1"
+        assert system.peek("y") is None
+
+    def test_fsync_lie_breaks_durability_strawman(self):
+        """The one fault outside the must-survive envelope: an
+        undetected lying fsync loses durably-acknowledged operations,
+        and the verifier catches the broken contract."""
+        system, _ = self._system(FaultSpec(0, FaultKind.FSYNC_LIE))
+        system.execute(physical("x", b"1"))
+        system.log.force()  # lies: reports success, durability withheld
+        system.crash()
+        system.recover()
+        with pytest.raises(VerificationError):
+            verify_recovered(system)
+
+    def test_honest_force_after_lie_repairs_durability(self):
+        system, _ = self._system(FaultSpec(0, FaultKind.FSYNC_LIE))
+        system.execute(physical("x", b"1"))
+        system.log.force()  # lie
+        system.execute(physical("y", b"2"))
+        system.log.force()  # honest: one real fsync flushes everything
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        assert system.peek("x") == b"1"
+
+
+class TestQuarantineRecovery:
+    def test_corrupt_store_heals_via_log_replay(self):
+        """End-to-end quarantine: damage a stored version, crash,
+        recover — the pre-redo scrub quarantines it and widens the redo
+        window so repeat history reinstates the object."""
+        model = FaultModel([FaultSpec(1, FaultKind.CORRUPT)])
+        system = RecoverableSystem(
+            SystemConfig(), store=FaultyStore(model), log=FaultyLog(model)
+        )
+        register_workload_functions(system.registry)
+        system.execute(physical("x", b"durable"))
+        system.log.force()  # point 0: clean
+        system.flush_all()  # point 1: install corrupts x's version
+        model.armed = False
+        system.crash()
+        system.recover()
+        verify_recovered(system)
+        assert system.peek("x") == b"durable"
+        assert system.stats.quarantines == 1
+        assert system.stats.media_recoveries == 1
