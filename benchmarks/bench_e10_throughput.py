@@ -1,0 +1,343 @@
+"""E10 — hot-path throughput: indexed addop_rW and the group-commit WAL.
+
+The perf companion to E4's structural story.  E4 showed *what* rW
+buys (small flush sets); E10 measures *how fast* the bookkeeping runs
+now that the engine is indexed:
+
+* **graph maintenance** — ops/sec and p50/p99 per-op latency of
+  ``RefinedWriteGraph.add_operation`` at 1k/5k/20k operations across
+  the E4 workload mixes, against the scan-everything
+  ``ReferenceWriteGraph`` (the pre-optimization implementation, kept
+  verbatim in ``repro.core._reference``);
+* **near-linear scaling** — the time ratio between the largest and
+  smallest sizes must stay well below the quadratic baseline's;
+* **end-to-end kernel runs** — ``RecoverableSystem.execute`` with
+  purge pressure, the full WAL + cache + graph path;
+* **group commit** — log forces with the knob off vs on over the E8a
+  heavy-logical workload, both settings verified to recover.
+
+Results are appended to ``BENCH_e10.json`` at the repo root so future
+PRs can track the trajectory.  ``E10_MAX_OPS`` caps the largest size
+(CI smoke runs with ``E10_MAX_OPS=1000``); the sizes and the reference
+measurements scale down with it, so every assertion still runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro import (
+    RecoverableSystem,
+    SystemConfig,
+    verify_recovered,
+)
+from repro.analysis import Table
+from repro.core._reference import ReferenceWriteGraph
+from repro.core.history import History
+from repro.core.refined_write_graph import RefinedWriteGraph
+from repro.workloads import (
+    LogicalWorkload,
+    LogicalWorkloadConfig,
+    register_workload_functions,
+)
+from benchmarks.conftest import once
+
+MIXES = [
+    ("physiological-only", dict(w_physical=0.2, w_touch=0.8, w_combine=0.0, w_derive=0.0)),
+    ("25% logical", dict(w_physical=0.2, w_touch=0.55, w_combine=0.15, w_derive=0.1)),
+    ("50% logical", dict(w_physical=0.15, w_touch=0.35, w_combine=0.3, w_derive=0.2)),
+    ("75% logical", dict(w_physical=0.1, w_touch=0.15, w_combine=0.45, w_derive=0.3)),
+]
+HEAVY = "75% logical"
+
+MAX_OPS = int(os.environ.get("E10_MAX_OPS", "20000"))
+#: Small/medium/large — 1k/5k/20k by default, scaled down under a cap.
+SIZES = sorted({max(50, MAX_OPS // 20), max(100, MAX_OPS // 4), MAX_OPS})
+#: The reference graph is quadratic; it is only run at the two smaller
+#: sizes (and the speedup is asserted at the middle one).
+REF_SIZES = SIZES[:2]
+SPEEDUP_SIZE = REF_SIZES[-1]
+#: >= 10x is the acceptance bar at the real 5k size; the scaled-down
+#: smoke sizes leave less quadratic work to win back.
+SPEEDUP_FLOOR = 10.0 if SPEEDUP_SIZE >= 5000 else 3.0
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_e10.json"
+
+
+def _ops_for(mix: dict, size: int, seed: int = 7) -> List:
+    config = LogicalWorkloadConfig(
+        objects=max(64, size // 4), operations=size, object_size=32, **mix
+    )
+    workload = LogicalWorkload(config, seed=seed)
+    history = History()
+    ops = []
+    for op in workload.operations():
+        history.append(op)
+        op.lsi = op.op_id + 1
+        ops.append(op)
+    return ops
+
+
+def _drive(graph, ops) -> Dict[str, float]:
+    """Feed ``ops`` one at a time, recording per-op latency."""
+    latencies = []
+    t_start = time.perf_counter()
+    for op in ops:
+        t0 = time.perf_counter()
+        graph.add_operation(op)
+        latencies.append(time.perf_counter() - t0)
+    total = time.perf_counter() - t_start
+    latencies.sort()
+    n = len(latencies)
+    return {
+        "ops": n,
+        "total_s": total,
+        "ops_per_sec": n / total,
+        "p50_us": latencies[n // 2] * 1e6,
+        "p99_us": latencies[min(n - 1, int(0.99 * (n - 1)))] * 1e6,
+        "nodes": len(graph),
+        "collapses": graph.cycle_collapses,
+    }
+
+
+def _record(section: str, payload) -> None:
+    """Merge one section into the BENCH_e10.json trajectory file."""
+    data = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["max_ops"] = MAX_OPS
+    data["sizes"] = SIZES
+    data[section] = payload
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _maintenance_sweep() -> Dict[str, Dict]:
+    out: Dict[str, Dict] = {"indexed": {}, "reference": {}}
+    for name, mix in MIXES:
+        for size in SIZES:
+            ops = _ops_for(mix, size)
+            out["indexed"][f"{name}@{size}"] = _drive(RefinedWriteGraph(), ops)
+    # The quadratic reference: smallest size for every mix (the
+    # cross-mix table), plus the speedup size for the heavy mix only —
+    # at 5k it already costs ~20s of wall clock.
+    for name, mix in MIXES:
+        ops = _ops_for(mix, SIZES[0])
+        out["reference"][f"{name}@{SIZES[0]}"] = _drive(
+            ReferenceWriteGraph(), ops
+        )
+    heavy_mix = dict(MIXES[3][1])
+    ops = _ops_for(heavy_mix, SPEEDUP_SIZE)
+    out["reference"][f"{HEAVY}@{SPEEDUP_SIZE}"] = _drive(
+        ReferenceWriteGraph(), ops
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_graph_maintenance_throughput(benchmark):
+    results = once(benchmark, _maintenance_sweep)
+    indexed, reference = results["indexed"], results["reference"]
+
+    table = Table(
+        f"E10: addop_rW throughput, sizes {SIZES}",
+        ["mix @ ops", "idx ops/s", "idx p50us", "idx p99us",
+         "ref ops/s", "speedup"],
+    )
+    for key, row in indexed.items():
+        ref = reference.get(key)
+        table.add_row(
+            key,
+            f"{row['ops_per_sec']:,.0f}",
+            f"{row['p50_us']:.1f}",
+            f"{row['p99_us']:.1f}",
+            f"{ref['ops_per_sec']:,.0f}" if ref else "-",
+            f"{row['ops_per_sec'] / ref['ops_per_sec']:.1f}x" if ref else "-",
+        )
+    table.print()
+
+    # Differential sanity: same graphs out of both engines.
+    for key, ref in reference.items():
+        assert indexed[key]["nodes"] == ref["nodes"], key
+        assert indexed[key]["collapses"] == ref["collapses"], key
+
+    # Acceptance: >= 10x on the 5k-op 75%-logical maintenance workload.
+    heavy_key = f"{HEAVY}@{SPEEDUP_SIZE}"
+    speedup = (
+        indexed[heavy_key]["ops_per_sec"]
+        / reference[heavy_key]["ops_per_sec"]
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"indexed engine only {speedup:.1f}x faster at {heavy_key}"
+    )
+
+    # Near-linear scaling: growing the op count by R must grow the
+    # total time far less than the quadratic baseline's R^2.
+    small, large = SIZES[0], SIZES[-1]
+    ops_ratio = large / small
+    quadratic = ops_ratio * ops_ratio
+    scaling = {}
+    for name, _ in MIXES:
+        t_small = indexed[f"{name}@{small}"]["total_s"]
+        t_large = indexed[f"{name}@{large}"]["total_s"]
+        ratio = t_large / t_small
+        scaling[name] = ratio
+        assert ratio < quadratic / 2, (
+            f"{name}: {large}/{small} time ratio {ratio:.0f}x is not "
+            f"meaningfully below the quadratic baseline ({quadratic:.0f}x)"
+        )
+
+    _record("graph_maintenance", {
+        "indexed": indexed,
+        "reference": reference,
+        "speedup_at": heavy_key,
+        "speedup": speedup,
+        "scaling_time_ratio": scaling,
+        "ops_ratio": ops_ratio,
+    })
+
+
+def _kernel_run(size: int) -> Dict[str, float]:
+    """End-to-end: execute + periodic purge through a full system."""
+    rng = random.Random(11)
+    system = RecoverableSystem(SystemConfig(group_commit=True))
+    register_workload_functions(system.registry)
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(
+            objects=max(64, size // 4), operations=size, object_size=64,
+            **dict(MIXES[3][1]),
+        ),
+        seed=11,
+    )
+    latencies = []
+    t_start = time.perf_counter()
+    for op in workload.operations():
+        t0 = time.perf_counter()
+        system.execute(op)
+        latencies.append(time.perf_counter() - t0)
+        if rng.random() < 0.05:
+            system.purge()
+    total = time.perf_counter() - t_start
+    system.flush_all()
+    latencies.sort()
+    n = len(latencies)
+    return {
+        "ops": n,
+        "total_s": total,
+        "ops_per_sec": n / total,
+        "p50_us": latencies[n // 2] * 1e6,
+        "p99_us": latencies[min(n - 1, int(0.99 * (n - 1)))] * 1e6,
+    }
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_end_to_end_kernel(benchmark):
+    sizes = REF_SIZES  # the two smaller sizes bound the wall clock
+    results = once(
+        benchmark, lambda: {size: _kernel_run(size) for size in sizes}
+    )
+
+    table = Table(
+        "E10: end-to-end kernel throughput (execute + purge, 75% logical)",
+        ["ops", "ops/s", "p50us", "p99us"],
+    )
+    for size, row in results.items():
+        table.add_row(
+            size,
+            f"{row['ops_per_sec']:,.0f}",
+            f"{row['p50_us']:.1f}",
+            f"{row['p99_us']:.1f}",
+        )
+    table.print()
+
+    # The full path has linear per-op work (logging, cache, oracle), so
+    # doubling and more the op count must not crater throughput.
+    small, large = sizes[0], sizes[-1]
+    ops_ratio = large / small
+    time_ratio = results[large]["total_s"] / results[small]["total_s"]
+    assert time_ratio < ops_ratio * ops_ratio / 2
+
+    _record(
+        "kernel_end_to_end",
+        {str(size): row for size, row in results.items()},
+    )
+
+
+def _group_commit_run(group_commit: bool, seed: int) -> Dict[str, int]:
+    """The E8a driven system, group commit off/on."""
+    rng = random.Random(seed)
+    system = RecoverableSystem(SystemConfig(group_commit=group_commit))
+    register_workload_functions(system.registry)
+    workload = LogicalWorkload(
+        LogicalWorkloadConfig(
+            objects=6, operations=60, object_size=64, **dict(MIXES[3][1])
+        ),
+        seed=seed,
+    )
+    for op in workload.operations():
+        system.execute(op)
+        if rng.random() < 0.3:
+            system.purge()
+    system.flush_all()
+    system.crash()
+    system.recover()
+    verify_recovered(system)
+    return {
+        "log_forces": system.stats.log_forces,
+        "log_force_saves": system.stats.log_force_saves,
+    }
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_group_commit_forces(benchmark):
+    def sweep():
+        return {
+            seed: {
+                "off": _group_commit_run(False, seed),
+                "on": _group_commit_run(True, seed),
+            }
+            for seed in range(4)
+        }
+
+    results = once(benchmark, sweep)
+
+    table = Table(
+        "E10: group commit, log forces on the E8a workload",
+        ["seed", "forces off", "forces on", "saves"],
+    )
+    for seed, row in results.items():
+        table.add_row(
+            seed,
+            row["off"]["log_forces"],
+            row["on"]["log_forces"],
+            row["on"]["log_force_saves"],
+        )
+    table.print()
+
+    total_off = sum(r["off"]["log_forces"] for r in results.values())
+    total_on = sum(r["on"]["log_forces"] for r in results.values())
+    total_saves = sum(r["on"]["log_force_saves"] for r in results.values())
+    # Group commit measurably reduces forces, and every force it saves
+    # is accounted: off == on + saves, seed by seed.
+    assert total_on < total_off
+    assert total_saves > 0
+    for row in results.values():
+        assert (
+            row["off"]["log_forces"]
+            == row["on"]["log_forces"] + row["on"]["log_force_saves"]
+        )
+
+    _record("group_commit", {
+        "total_forces_off": total_off,
+        "total_forces_on": total_on,
+        "total_saves": total_saves,
+    })

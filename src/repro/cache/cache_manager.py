@@ -201,14 +201,14 @@ class CacheManager:
     def purge(self) -> bool:
         """Install one write-graph node; False when nothing is dirty."""
         graph = self.write_graph()
-        if not graph.nodes:
+        if not len(graph):
             return False
         use_identity = (
             self.config.graph_mode is GraphMode.RW
             and self.config.multi_object_strategy
             is MultiObjectStrategy.IDENTITY_WRITES
         )
-        for _attempt in range(len(graph.nodes) + 8):
+        for _attempt in range(len(graph) + 8):
             minimal = graph.minimal_nodes()
             if not minimal:  # pragma: no cover - graphs stay acyclic
                 raise CacheError("write graph has no minimal node")
@@ -329,7 +329,7 @@ class CacheManager:
                 if len(current.vars) <= 1:
                     return current
                 guard += 1
-                if guard > 4 * (len(current.vars) + len(self._rw.nodes)) + 16:
+                if guard > 4 * (len(current.vars) + len(self._rw)) + 16:
                     raise CacheError(
                         "identity-write injection did not converge"
                     )

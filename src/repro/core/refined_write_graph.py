@@ -1,4 +1,4 @@
-"""The refined write graph ``rW`` (Section 3, Figure 6).
+"""The refined write graph ``rW`` (Section 3, Figure 6), indexed.
 
 The fundamental insight of the paper: a subsequent update can make an
 object *unexposed* — no uninstalled operation needs to read the value an
@@ -13,9 +13,27 @@ flushed to install the operations that wrote it.  ``rW`` captures this:
   value — ensure it is safe to skip flushing ``Notx(n)``.
 
 The construction is incremental (``add_operation`` is the paper's
-``addop_rW``).  Cycles can still arise (the paper's a/b/c application
-example); they are collapsed into single nodes exactly as in the
-construction of ``W``.
+``addop_rW``) and engineered so per-insert work is proportional to the
+objects the operation touches, not to the graph:
+
+* the Figure 6 scans ("nodes whose vars overlap exp", "nodes that read
+  an overwritten object", "nodes holding a blindly-written object") are
+  answered by inverted indexes — ``_last_write_node`` doubles as the
+  vars-holder index (X ∈ vars(n) only for X's last-writer node) and
+  ``_reader_nodes`` maps each object to every node that read it;
+* instead of a full-graph SCC pass per insert, a topological order over
+  the nodes is maintained incrementally (Pearce–Kelly style): edges
+  added by the current insert that land against the order seed a
+  bounded region repair whose restricted Tarjan pass finds exactly the
+  graph's non-trivial SCCs, so cycle collapses are counted identically
+  to the batch construction;
+* nodes live in an insertion-ordered dict and a ready set tracks the
+  predecessor-free nodes, so ``minimal_nodes`` and ``remove_node`` do
+  no graph rescans.
+
+``repro.core._reference.ReferenceWriteGraph`` preserves the original
+scan-everything construction; the differential property tests hold this
+engine to exact node/edge/collapse equality with it.
 
 Invariant maintained throughout: for every object X with at least one
 uninstalled writer, X belongs to ``vars`` of exactly one node — the node
@@ -25,6 +43,7 @@ remaining writer holds it in ``Notx``.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -42,6 +61,13 @@ class RWNode:
         self.node_id = next(RWNode._ids)
         self.ops: Set[Operation] = set()
         self.vars: Set[ObjectId] = set()
+        #: Maintained by RefinedWriteGraph only (ReferenceWriteGraph
+        #: recomputes everything from ``ops``): the union of readsets of
+        #: ops — the reverse of the graph's reader indexes — and the
+        #: objects whose last uninstalled writer this node holds — the
+        #: reverse of ``_last_write_node``.
+        self._read_objs: Set[ObjectId] = set()
+        self._lw_objs: Set[ObjectId] = set()
 
     @property
     def writes(self) -> Set[ObjectId]:
@@ -83,39 +109,89 @@ class RWNode:
 
 
 class RefinedWriteGraph:
-    """Incrementally-maintained refined write graph."""
+    """Incrementally-maintained refined write graph, fully indexed."""
 
     def __init__(self) -> None:
-        self.nodes: List[RWNode] = []
+        #: Insertion-ordered node set.  Merge targets are always the
+        #: lowest-id member of their group and keep their slot, so
+        #: iteration order is node_id-ascending — the same order the
+        #: original list-based implementation exposed.
+        self._nodes: Dict[RWNode, None] = {}
         self._succ: Dict[RWNode, Set[RWNode]] = {}
         self._pred: Dict[RWNode, Set[RWNode]] = {}
-        #: Node holding X's last uninstalled writer (the vars/Notx holder).
+        #: Node holding X's last uninstalled writer (the vars/Notx
+        #: holder).  Doubles as the vars index: X ∈ vars(n) implies n is
+        #: this map's entry for X.
         self._last_write_node: Dict[ObjectId, RWNode] = {}
         #: Nodes containing an operation that read X's *current* value,
         #: i.e. read X since its most recent write.  Feeds the inverse
         #: write-read edges.
         self._readers_since_write: Dict[ObjectId, Set[RWNode]] = {}
+        #: Every live node with X in Reads(n) — the read-write edge scan.
+        self._reader_nodes: Dict[ObjectId, Set[RWNode]] = {}
+        #: op -> its node, for O(1) node_of.
+        self._node_of_op: Dict[Operation, RWNode] = {}
+        #: Predecessor-free nodes (the installable frontier).
+        self._ready: Set[RWNode] = set()
+        #: Incremental topological order: node -> integer rank.
+        #: Invariant between inserts: every edge (u, v) has
+        #: ``_topo[u] < _topo[v]``.
+        self._topo: Dict[RWNode, int] = {}
+        #: Fresh ranks above / below every assigned one; only the
+        #: relative order of ranks matters, so they never need
+        #: renumbering.
+        self._next_rank: int = 0
+        self._min_rank: int = 0
+        #: Edges actually added by the insert in progress (including
+        #: ones re-pointed by merges); the repair pass checks only these
+        #: against the topological order.
+        self._edge_log: List[Tuple[RWNode, RWNode]] = []
+        self._logging: bool = False
         #: Count of node merges forced by cycle collapse (E8 metric).
         self.cycle_collapses: int = 0
+
+    @property
+    def nodes(self) -> List[RWNode]:
+        """Live nodes in insertion (= node_id-ascending) order."""
+        return list(self._nodes)
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def _new_node(self) -> RWNode:
         node = RWNode()
-        self.nodes.append(node)
+        self._nodes[node] = None
         self._succ[node] = set()
         self._pred[node] = set()
+        self._ready.add(node)
+        self._topo[node] = self._next_rank
+        self._next_rank += 1
         return node
 
     def _add_edge(self, src: RWNode, dst: RWNode) -> None:
         if src is dst:
             return
-        self._succ[src].add(dst)
+        succs = self._succ[src]
+        if dst in succs:
+            return
+        succs.add(dst)
         self._pred[dst].add(src)
+        self._ready.discard(dst)
+        if self._logging:
+            self._edge_log.append((src, dst))
+
+    def _drop_node(self, node: RWNode) -> None:
+        """Forget a node's membership bookkeeping (not its edges)."""
+        del self._nodes[node]
+        self._ready.discard(node)
+        del self._topo[node]
 
     def _merge(self, group: List[RWNode]) -> RWNode:
-        """Merge ``group`` into a single node, rewriting edges and maps."""
+        """Merge ``group`` into a single node, rewriting edges and maps.
+
+        ``group`` must be sorted by node_id: the target (its first
+        member) then keeps both the lowest id and its iteration slot.
+        """
         if len(group) == 1:
             return group[0]
         target = group[0]
@@ -124,6 +200,10 @@ class RefinedWriteGraph:
         for node in rest:
             target.ops |= node.ops
             target.vars |= node.vars
+            target._read_objs |= node._read_objs
+            target._lw_objs |= node._lw_objs
+            for op in node.ops:
+                self._node_of_op[op] = target
         # Re-point edges, dropping those internal to the merged set.
         for node in rest:
             for succ in self._succ.pop(node):
@@ -134,25 +214,149 @@ class RefinedWriteGraph:
                 self._succ[pred].discard(node)
                 if pred not in members:
                     self._add_edge(pred, target)
-            self.nodes.remove(node)
-        # Rewrite bookkeeping references.
-        for obj, holder in list(self._last_write_node.items()):
-            if holder in members:
+            self._drop_node(node)
+            # Rewrite the per-object indexes through the reverse sets.
+            for obj in node._lw_objs:
                 self._last_write_node[obj] = target
-        for readers in self._readers_since_write.values():
-            if readers & members:
-                readers.difference_update(members)
-                readers.add(target)
+            node._lw_objs = set()
+            for obj in node._read_objs:
+                readers = self._reader_nodes.get(obj)
+                if readers is not None:
+                    readers.discard(node)
+                    readers.add(target)
+                since = self._readers_since_write.get(obj)
+                if since is not None and node in since:
+                    since.discard(node)
+                    since.add(target)
+        # Internal edges vanished: the target may have become minimal.
+        if self._pred[target]:
+            self._ready.discard(target)
+        else:
+            self._ready.add(target)
         return target
 
-    def _collapse_cycles(self) -> None:
-        """Collapse every non-trivial SCC into one node (second collapse
-        of Figure 3, applied on demand after insertions)."""
-        sccs = strongly_connected_components(list(self.nodes), self._succ)
-        for scc in sccs:
+    # ------------------------------------------------------------------
+    # incremental cycle collapse
+    # ------------------------------------------------------------------
+    def _repair_order(self) -> None:
+        """Restore the topological order after an insert's new edges.
+
+        Edges logged by the insert whose endpoints are both still alive
+        and land against the maintained order are *violations*.  No
+        violations ⇒ every edge still respects the order ⇒ the graph is
+        acyclic and nothing moves.  Otherwise the repair works on a
+        closed set of nodes: the full *descendant closure* of the
+        violation targets, or, symmetrically, the full *ancestor
+        closure* of the violation sources — both are discovered in
+        lockstep and the one that finishes first wins, so discovery
+        costs twice the smaller cone.  Every cycle must cross a
+        violating edge (non-violating edges walk strictly forward in
+        the order) and so lies entirely inside either closure — a
+        Tarjan pass over it finds exactly the full graph's non-trivial
+        SCCs, and collapse counts match the batch construction.  The
+        closure's survivors then move, in topological order, to fresh
+        ranks past the end of the order (descendant cone) or before its
+        start (ancestor cone), which restores the invariant everywhere:
+        a successor-closed set has no outside successors and its
+        outside predecessors rank below the appended block, and
+        mirror-image for a predecessor-closed set.
+        """
+        violations = [
+            (src, dst)
+            for src, dst in self._edge_log
+            if src in self._topo
+            and dst in self._topo
+            and self._topo[src] >= self._topo[dst]
+        ]
+        self._edge_log.clear()
+        if not violations:
+            return
+        self._logging = False
+        fwd: Set[RWNode] = set()
+        fwd_stack = [dst for _, dst in violations]
+        bwd: Set[RWNode] = set()
+        bwd_stack = [src for src, _ in violations]
+        while True:
+            node = fwd_stack.pop()
+            if node not in fwd:
+                fwd.add(node)
+                fwd_stack.extend(
+                    s for s in self._succ[node] if s not in fwd
+                )
+            if not fwd_stack:
+                closure, moving_down = fwd, True
+                break
+            node = bwd_stack.pop()
+            if node not in bwd:
+                bwd.add(node)
+                bwd_stack.extend(
+                    p for p in self._pred[node] if p not in bwd
+                )
+            if not bwd_stack:
+                closure, moving_down = bwd, False
+                break
+        ordered = sorted(closure, key=self._topo.__getitem__)
+        # A cycle threads some violating edge (u, v) and so carries v's
+        # descendants back around to u — unless a violation's far
+        # endpoint made it into the closure, no cycle exists and the
+        # SCC pass can be skipped.
+        if moving_down:
+            may_cycle = any(src in closure for src, _ in violations)
+        else:
+            may_cycle = any(dst in closure for _, dst in violations)
+        if not may_cycle:
+            # Acyclic repair: with no violating edge inside the
+            # closure, every intra-closure edge already respects the
+            # old ranks — reassigning fresh ranks in old-rank order
+            # keeps them valid without a Kahn pass.
+            if moving_down:
+                for node in ordered:
+                    self._topo[node] = self._next_rank
+                    self._next_rank += 1
+            else:
+                self._min_rank -= len(ordered)
+                for offset, node in enumerate(ordered):
+                    self._topo[node] = self._min_rank + offset
+            return
+        # The closure is closed under the direction searched, so the
+        # unrestricted adjacency stays inside it; for the ancestor
+        # cone Tarjan runs on the transpose, which has the same SCCs.
+        adjacency = self._succ if moving_down else self._pred
+        for scc in strongly_connected_components(ordered, adjacency):
             if len(scc) > 1:
                 self.cycle_collapses += 1
                 self._merge(sorted(scc, key=lambda n: n.node_id))
+        survivors = [n for n in ordered if n in self._topo]
+        survivor_set = set(survivors)
+        # Kahn over the (now acyclic) closure, smallest node_id first
+        # for determinism.  The descendant cone streams out to fresh
+        # high ranks; the ancestor cone runs on the transpose (sinks
+        # first) and streams down to fresh low ranks.
+        forward, backward = (
+            (self._succ, self._pred) if moving_down else
+            (self._pred, self._succ)
+        )
+        indegree = {
+            n: len(backward[n] & survivor_set) for n in survivors
+        }
+        frontier = [(n.node_id, n) for n in survivors if indegree[n] == 0]
+        heapq.heapify(frontier)
+        placed = 0
+        while frontier:
+            _, node = heapq.heappop(frontier)
+            if moving_down:
+                self._topo[node] = self._next_rank
+                self._next_rank += 1
+            else:
+                self._min_rank -= 1
+                self._topo[node] = self._min_rank
+            placed += 1
+            for neighbor in forward[node]:
+                if neighbor in survivor_set:
+                    indegree[neighbor] -= 1
+                    if indegree[neighbor] == 0:
+                        heapq.heappush(frontier, (neighbor.node_id, neighbor))
+        assert placed == len(survivors), "collapse left a cycle"
 
     # ------------------------------------------------------------------
     # addop_rW (Figure 6)
@@ -161,37 +365,59 @@ class RefinedWriteGraph:
         """Insert ``op``, presented in conflict order, and return its node."""
         exp = op.exp
         notexp = op.notexp
+        self._edge_log.clear()
+        self._logging = True
 
         # Merge nodes whose flush sets overlap op's exposed updates: op
         # reads those values, so it must install atomically with (and
         # its results flush with) the operations that produced them.
-        overlapping = [n for n in self.nodes if n.vars & exp]
+        # X ∈ vars(n) only for n = X's last-writer node, so the holder
+        # lookup replaces the all-nodes scan.
+        overlapping: List[RWNode] = []
+        for obj in exp:
+            holder = self._last_write_node.get(obj)
+            if (
+                holder is not None
+                and obj in holder.vars
+                and holder not in overlapping
+            ):
+                overlapping.append(holder)
         if overlapping:
             m = self._merge(sorted(overlapping, key=lambda n: n.node_id))
+            # A sink can take a fresh top rank for free, so the edges
+            # about to point at it cannot land against the topological
+            # order — the repair pass then usually has nothing to do.
+            if not self._succ[m]:
+                self._topo[m] = self._next_rank
+                self._next_rank += 1
         else:
             m = self._new_node()
         m.ops.add(op)
         m.vars |= op.writes
+        m._read_objs |= op.reads
+        self._node_of_op[op] = m
+        for obj in op.reads:
+            self._reader_nodes.setdefault(obj, set()).add(m)
 
         # New read-write edges: any node that read an object op now
         # overwrites must install first, else replaying its operations
         # after a crash would see the wrong input.
-        for p in self.nodes:
-            if p is m:
-                continue
-            if p.reads & op.writes:
-                self._add_edge(p, m)
+        for obj in op.writes:
+            for p in self._reader_nodes.get(obj, ()):
+                if p is not m:
+                    self._add_edge(p, m)
 
         # Blind updates un-expose objects held in other nodes' flush
         # sets: remove them there, record the write-write ordering, and
         # protect the dropped values with inverse write-read edges.
         if notexp:
-            for p in list(self.nodes):
-                if p is m:
+            dropped_by_holder: Dict[RWNode, Set[ObjectId]] = {}
+            for obj in notexp:
+                p = self._last_write_node.get(obj)
+                if p is None or p is m or obj not in p.vars:
                     continue
-                dropped = p.vars & notexp
-                if not dropped:
-                    continue
+                dropped_by_holder.setdefault(p, set()).add(obj)
+            for p, dropped in dropped_by_holder.items():
                 p.vars -= dropped
                 # op is in must(op') for op' in ops(p): the blind write
                 # overwrites values p's operations wrote, so p installs
@@ -206,29 +432,31 @@ class RefinedWriteGraph:
                             self._add_edge(q, p)
 
         # Bookkeeping: op's reads happen against current values (before
-        # its writes replace them).
-        for obj in op.reads:
+        # its writes replace them), so an exposed write's own read is
+        # against the value it replaces and the new value starts with no
+        # readers.
+        for obj in op.reads - op.writes:
             self._readers_since_write.setdefault(obj, set()).add(m)
         for obj in op.writes:
+            prev = self._last_write_node.get(obj)
+            if prev is not None and prev is not m:
+                prev._lw_objs.discard(obj)
             self._last_write_node[obj] = m
+            m._lw_objs.add(obj)
             self._readers_since_write[obj] = set()
-            if obj in op.reads:
-                # An exposed write reads the old value it replaces; the
-                # new value's readers start empty, but the node itself
-                # holds the writer so no self-constraint is needed.
-                pass
 
-        self._collapse_cycles()
+        self._repair_order()
+        self._logging = False
         # The merge/collapse steps may have replaced m; return the node
         # that now holds op.
-        return self.node_of(op)  # type: ignore[return-value]
+        return self._node_of_op[op]
 
     # ------------------------------------------------------------------
     # installation
     # ------------------------------------------------------------------
     def minimal_nodes(self) -> List[RWNode]:
         """Nodes with no predecessors — installable by flushing vars(n)."""
-        return [n for n in self.nodes if not self._pred[n]]
+        return sorted(self._ready, key=lambda n: n.node_id)
 
     def remove_node(self, node: RWNode) -> Tuple[Set[ObjectId], Set[ObjectId]]:
         """Remove an installed node; returns ``(vars, Notx)`` at removal.
@@ -241,14 +469,24 @@ class RefinedWriteGraph:
             raise ValueError(f"{node!r} has uninstalled predecessors")
         flushed, unexposed = set(node.vars), set(node.notx)
         for succ in self._succ.pop(node):
-            self._pred[succ].discard(node)
+            preds = self._pred[succ]
+            preds.discard(node)
+            if not preds:
+                self._ready.add(succ)
         del self._pred[node]
-        self.nodes.remove(node)
-        for obj, holder in list(self._last_write_node.items()):
-            if holder is node:
-                del self._last_write_node[obj]
-        for readers in self._readers_since_write.values():
-            readers.discard(node)
+        self._drop_node(node)
+        for op in node.ops:
+            del self._node_of_op[op]
+        for obj in node._lw_objs:
+            del self._last_write_node[obj]
+        node._lw_objs = set()
+        for obj in node._read_objs:
+            readers = self._reader_nodes.get(obj)
+            if readers is not None:
+                readers.discard(node)
+            since = self._readers_since_write.get(obj)
+            if since is not None:
+                since.discard(node)
         return flushed, unexposed
 
     # ------------------------------------------------------------------
@@ -256,10 +494,7 @@ class RefinedWriteGraph:
     # ------------------------------------------------------------------
     def node_of(self, op: Operation) -> Optional[RWNode]:
         """The node containing ``op``, or None if op was installed."""
-        for node in self.nodes:
-            if op in node.ops:
-                return node
-        return None
+        return self._node_of_op.get(op)
 
     def holder_of(self, obj: ObjectId) -> Optional[RWNode]:
         """The node with ``obj`` in vars or Notx via its last writer."""
@@ -281,19 +516,16 @@ class RefinedWriteGraph:
 
     def is_acyclic(self) -> bool:
         """True when no non-trivial SCC exists (always, post-collapse)."""
-        sccs = strongly_connected_components(list(self.nodes), self._succ)
+        sccs = strongly_connected_components(list(self._nodes), self._succ)
         return all(len(scc) == 1 for scc in sccs)
 
     def uninstalled_operations(self) -> Set[Operation]:
         """All operations currently held by the graph."""
-        out: Set[Operation] = set()
-        for node in self.nodes:
-            out |= node.ops
-        return out
+        return set(self._node_of_op)
 
     def flush_set_sizes(self) -> List[int]:
         """|vars(n)| for every node — the E4 metric."""
-        return [len(n.vars) for n in self.nodes]
+        return [len(n.vars) for n in self._nodes]
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return len(self._nodes)

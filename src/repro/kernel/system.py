@@ -52,6 +52,10 @@ class SystemConfig:
     checkpoint_every_bytes: Optional[int] = None
     #: Whether automatic checkpoints truncate the log.
     truncate_on_checkpoint: bool = True
+    #: Group-commit WAL: prefix forces that must touch the device widen
+    #: to the whole log buffer so adjacent force requests in an install
+    #: batch share one stable-log write (see LogManager.force_through).
+    group_commit: bool = False
 
     def fresh_cache_config(self) -> CacheConfig:
         """Cache config for the post-recovery cache manager."""
@@ -88,6 +92,8 @@ class RecoverableSystem:
             component.stats = self.stats
         self.store = store if store is not None else StableStore(self.stats)
         self.log = log if log is not None else LogManager(self.stats)
+        if self.config.group_commit:
+            self.log.group_commit = True
         self.cache = CacheManager(
             self.store, self.log, self.registry, self.config.cache, self.stats
         )

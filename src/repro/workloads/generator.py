@@ -101,12 +101,15 @@ class LogicalWorkload:
         self.rng = make_rng(seed)
         self._initialized: set = set()
         self._counter = 0
+        self._ids: List[ObjectId] = [
+            f"obj:{i}" for i in range(self.config.objects)
+        ]
 
     def object_ids(self) -> List[ObjectId]:
-        return [f"obj:{i}" for i in range(self.config.objects)]
+        return list(self._ids)
 
     def _pick(self) -> ObjectId:
-        return self.rng.choice(self.object_ids())
+        return self.rng.choice(self._ids)
 
     def _fresh_physical(self, obj: ObjectId) -> Operation:
         self._counter += 1

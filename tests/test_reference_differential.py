@@ -1,0 +1,161 @@
+"""Differential property tests: indexed engine vs the naive reference.
+
+``repro.core._reference.ReferenceWriteGraph`` is the scan-everything
+Figure 6 construction, kept deliberately naive.  These tests feed
+identical randomized operation streams to it and to the indexed
+:class:`~repro.core.refined_write_graph.RefinedWriteGraph` and require
+the results to match *exactly* — node shapes, flush sets, edges,
+cycle-collapse counts, and install orders — including with node
+installation interleaved into the stream.
+
+Nodes are compared by their operation-name sets: both engines mint
+their own ``RWNode`` instances, but a node *is* its set of operations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet
+
+import pytest
+
+from repro.core._reference import ReferenceWriteGraph
+from repro.core.history import History
+from repro.core.refined_write_graph import RefinedWriteGraph
+from repro.workloads import LogicalWorkload, LogicalWorkloadConfig
+
+MIXES = [
+    ("physiological", dict(w_physical=0.2, w_touch=0.8, w_combine=0.0, w_derive=0.0)),
+    ("mixed", dict(w_physical=0.15, w_touch=0.35, w_combine=0.3, w_derive=0.2)),
+    ("heavy-logical", dict(w_physical=0.1, w_touch=0.15, w_combine=0.45, w_derive=0.3)),
+    ("deleting", dict(w_physical=0.2, w_touch=0.3, w_combine=0.3, w_derive=0.2, p_delete=0.15)),
+]
+
+
+def _stream(mix: dict, seed: int, operations: int = 120, objects: int = 8):
+    config = LogicalWorkloadConfig(
+        objects=objects, operations=operations, object_size=16, **mix
+    )
+    workload = LogicalWorkload(config, seed=seed)
+    history = History()
+    ops = []
+    for op in workload.operations():
+        history.append(op)
+        op.lsi = op.op_id + 1
+        ops.append(op)
+    return ops
+
+
+def _key(node) -> FrozenSet[str]:
+    return frozenset(op.name for op in node.ops)
+
+
+def _shape(graph) -> dict:
+    """Everything observable about a graph, keyed by op-name sets."""
+    by_key = {_key(n): n for n in graph.nodes}
+    return {
+        "order": [_key(n) for n in graph.nodes],
+        "vars": {k: set(n.vars) for k, n in by_key.items()},
+        "notx": {k: set(n.notx) for k, n in by_key.items()},
+        "edges": {(_key(a), _key(b)) for a, b in graph.edges()},
+        "collapses": graph.cycle_collapses,
+        "flush_sizes": sorted(graph.flush_set_sizes()),
+        "minimal": [_key(n) for n in graph.minimal_nodes()],
+    }
+
+
+def _assert_same(ref: ReferenceWriteGraph, idx: RefinedWriteGraph) -> None:
+    a, b = _shape(ref), _shape(idx)
+    assert a["order"] == b["order"]
+    assert a["vars"] == b["vars"]
+    assert a["notx"] == b["notx"]
+    assert a["edges"] == b["edges"]
+    assert a["collapses"] == b["collapses"]
+    assert a["flush_sizes"] == b["flush_sizes"]
+    assert a["minimal"] == b["minimal"]
+    assert idx.is_acyclic()
+
+
+@pytest.mark.parametrize("mix_name,mix", MIXES)
+@pytest.mark.parametrize("seed", range(4))
+def test_insertion_stream_matches(mix_name, mix, seed):
+    ops = _stream(mix, seed)
+    ref, idx = ReferenceWriteGraph(), RefinedWriteGraph()
+    for op in ops:
+        node_ref = ref.add_operation(op)
+        node_idx = idx.add_operation(op)
+        assert _key(node_ref) == _key(node_idx), op.name
+    _assert_same(ref, idx)
+
+
+@pytest.mark.parametrize("mix_name,mix", MIXES)
+@pytest.mark.parametrize("seed", range(3))
+def test_interleaved_installation_matches(mix_name, mix, seed):
+    """Install minimal nodes mid-stream; orders and results must track."""
+    rng = random.Random(seed * 7919 + 13)
+    ops = _stream(mix, seed + 100)
+    ref, idx = ReferenceWriteGraph(), RefinedWriteGraph()
+    for op in ops:
+        ref.add_operation(op)
+        idx.add_operation(op)
+        if rng.random() < 0.25 and ref.nodes:
+            minimal_ref = ref.minimal_nodes()
+            minimal_idx = idx.minimal_nodes()
+            assert [_key(n) for n in minimal_ref] == [
+                _key(n) for n in minimal_idx
+            ]
+            if minimal_ref:
+                flushed_ref = ref.remove_node(minimal_ref[0])
+                flushed_idx = idx.remove_node(minimal_idx[0])
+                assert flushed_ref == flushed_idx
+    _assert_same(ref, idx)
+    # Drain both graphs completely: the full install order must match.
+    while len(ref):
+        minimal_ref = ref.minimal_nodes()
+        minimal_idx = idx.minimal_nodes()
+        assert [_key(n) for n in minimal_ref] == [
+            _key(n) for n in minimal_idx
+        ]
+        assert ref.remove_node(minimal_ref[0]) == idx.remove_node(
+            minimal_idx[0]
+        )
+    assert len(idx) == 0
+    assert idx.uninstalled_operations() == set()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_adversarial_tiny_population(seed):
+    """Few objects and many logical ops maximize merge/cycle pressure."""
+    ops = _stream(
+        dict(w_physical=0.1, w_touch=0.1, w_combine=0.5, w_derive=0.3),
+        seed=seed,
+        operations=150,
+        objects=3,
+    )
+    ref, idx = ReferenceWriteGraph(), RefinedWriteGraph()
+    for op in ops:
+        ref.add_operation(op)
+        idx.add_operation(op)
+    _assert_same(ref, idx)
+    # Tiny populations force real collapses, or the test is vacuous.
+    assert ref.cycle_collapses > 0
+
+
+def test_queries_match_after_stream():
+    ops = _stream(dict(MIXES[2][1]), seed=5)
+    ref, idx = ReferenceWriteGraph(), RefinedWriteGraph()
+    for op in ops:
+        ref.add_operation(op)
+        idx.add_operation(op)
+    for op in ops:
+        node_ref, node_idx = ref.node_of(op), idx.node_of(op)
+        assert (node_ref is None) == (node_idx is None)
+        if node_ref is not None:
+            assert _key(node_ref) == _key(node_idx)
+    objects = {obj for op in ops for obj in op.writes | op.reads}
+    for obj in objects:
+        holder_ref, holder_idx = ref.holder_of(obj), idx.holder_of(obj)
+        assert (holder_ref is None) == (holder_idx is None), obj
+        if holder_ref is not None:
+            assert _key(holder_ref) == _key(holder_idx), obj
+    assert ref.uninstalled_operations() == idx.uninstalled_operations()
