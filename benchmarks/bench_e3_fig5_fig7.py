@@ -20,7 +20,7 @@ from repro.core.history import History
 from repro.core.installation_graph import InstallationGraph
 from repro.core.operation import Operation, OpKind
 from repro.core.refined_write_graph import RefinedWriteGraph
-from repro.core.write_graph import WriteGraph
+from repro.core.write_graph import BatchWriteGraph
 from benchmarks.conftest import once
 
 
@@ -43,7 +43,7 @@ def _trace(ops) -> List[Tuple[str, List[tuple], List[tuple]]]:
         history = History()
         for item in seen:
             history.append(item)
-        w = WriteGraph(InstallationGraph(list(history)))
+        w = BatchWriteGraph(InstallationGraph(list(history)))
         rw_nodes = sorted(
             (tuple(sorted(n.vars)), tuple(sorted(n.notx))) for n in rw.nodes
         )

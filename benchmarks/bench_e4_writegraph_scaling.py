@@ -23,7 +23,7 @@ from repro.analysis import Table
 from repro.core.history import History
 from repro.core.installation_graph import InstallationGraph
 from repro.core.refined_write_graph import RefinedWriteGraph
-from repro.core.write_graph import WriteGraph
+from repro.core.write_graph import BatchWriteGraph
 from repro.workloads import LogicalWorkload, LogicalWorkloadConfig
 from benchmarks.conftest import once
 
@@ -63,7 +63,7 @@ def _measure(mix: dict) -> Dict[str, float]:
             rw.add_operation(op)
         collapses += rw.cycle_collapses
         rw_sizes.extend(len(n.vars) for n in rw.nodes)
-        w = WriteGraph(InstallationGraph(ops))
+        w = BatchWriteGraph(InstallationGraph(ops))
         w_sizes.extend(len(n.vars) for n in w.nodes)
     return {
         "rw_mean": mean(rw_sizes),
@@ -136,7 +136,7 @@ def _batch_w_per_op(ops) -> int:
     without addop_rW would do)."""
     count = 0
     for prefix_length in range(1, len(ops) + 1):
-        graph = WriteGraph(InstallationGraph(ops[:prefix_length]))
+        graph = BatchWriteGraph(InstallationGraph(ops[:prefix_length]))
         count += len(graph.nodes)
     return count
 

@@ -42,7 +42,7 @@ from repro.analysis import Table
 from repro.core.history import History
 from repro.core.installation_graph import InstallationGraph, WriteWritePolicy
 from repro.core.refined_write_graph import RefinedWriteGraph
-from repro.core.write_graph import WriteGraph
+from repro.core.write_graph import BatchWriteGraph
 from repro.workloads import (
     LogicalWorkload,
     LogicalWorkloadConfig,
@@ -133,7 +133,7 @@ def _ablation_cycles() -> Dict[str, float]:
             rw.add_operation(op)
         rw_collapses.append(rw.cycle_collapses)
         # W: count operations forced into shared nodes beyond their own.
-        w = WriteGraph(InstallationGraph(ops))
+        w = BatchWriteGraph(InstallationGraph(ops))
         w_nontrivial.append(
             sum(1 for node in w.nodes if len(node.ops) > 1)
         )
@@ -164,7 +164,7 @@ def _ablation_ww_policy() -> Dict[str, Dict[str, float]]:
     for policy in WriteWritePolicy:
         graph = InstallationGraph(ops, policy)
         edges = sum(1 for _ in graph.edges())
-        w = WriteGraph(graph)
+        w = BatchWriteGraph(graph)
         out[policy.value] = {
             "installation_edges": edges,
             "w_nodes": len(w.nodes),

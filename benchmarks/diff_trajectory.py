@@ -1,0 +1,120 @@
+"""Diff two BENCH_e10.json trajectory files and fail on regressions.
+
+CI runs the E10 smoke benchmark, then compares the fresh trajectory
+against the committed one::
+
+    python benchmarks/diff_trajectory.py BASELINE CURRENT [--threshold 0.2]
+
+A *lane* is any dict in the trajectory that carries an ``ops_per_sec``
+value, addressed by its dotted path (e.g.
+``graph_maintenance.indexed.75% logical@1000``).  Lanes marked
+``"extrapolated": true`` were never measured and are skipped.  Only
+lanes present in **both** files are compared — the smoke run measures a
+subset of the committed full-size lanes, and a brand-new lane has no
+baseline yet, so both are reported but never fail the build.  A lane
+whose throughput drops by more than the threshold (default 20%) fails
+with exit status 1.
+
+(The name deliberately avoids the ``bench_*``/``test_*`` patterns so
+pytest does not collect this module.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def collect_lanes(data, prefix: str = "") -> Dict[str, float]:
+    """All dotted-path -> ops_per_sec lanes, skipping extrapolated."""
+    lanes: Dict[str, float] = {}
+    if not isinstance(data, dict):
+        return lanes
+    rate = data.get("ops_per_sec")
+    if isinstance(rate, (int, float)) and not data.get("extrapolated"):
+        lanes[prefix or "."] = float(rate)
+    for key, value in data.items():
+        if isinstance(value, dict):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            lanes.update(collect_lanes(value, path))
+    return lanes
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """Returns (report_lines, regression_lines)."""
+    report: List[str] = []
+    regressions: List[str] = []
+    for lane in sorted(set(baseline) | set(current)):
+        if lane not in current:
+            report.append(f"  [gone]     {lane} (baseline only; not run)")
+            continue
+        if lane not in baseline:
+            report.append(
+                f"  [new]      {lane}: {current[lane]:,.0f} ops/s "
+                "(no baseline; recorded)"
+            )
+            continue
+        old, new = baseline[lane], current[lane]
+        change = (new - old) / old if old else 0.0
+        line = (
+            f"{lane}: {old:,.0f} -> {new:,.0f} ops/s ({change:+.1%})"
+        )
+        if change < -threshold:
+            report.append(f"  [REGRESS]  {line}")
+            regressions.append(line)
+        else:
+            report.append(f"  [ok]       {line}")
+    return report, regressions
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(
+            os.environ.get("E10_DIFF_THRESHOLD", DEFAULT_THRESHOLD)
+        ),
+        help="maximum tolerated fractional ops/sec drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to diff")
+        return 0
+    baseline = collect_lanes(json.loads(args.baseline.read_text()))
+    current = collect_lanes(json.loads(args.current.read_text()))
+
+    report, regressions = compare(baseline, current, args.threshold)
+    print(
+        f"E10 trajectory diff ({len(baseline)} baseline lanes, "
+        f"{len(current)} current, threshold {args.threshold:.0%}):"
+    )
+    for line in report:
+        print(line)
+    if regressions:
+        print(
+            f"\n{len(regressions)} lane(s) regressed more than "
+            f"{args.threshold:.0%}:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("\nno lane regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

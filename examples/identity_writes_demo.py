@@ -13,7 +13,7 @@ from repro import Operation, OpKind, RecoverableSystem, verify_recovered
 
 
 def show_graph(system: RecoverableSystem, label: str) -> None:
-    graph = system.cache.write_graph()
+    graph = system.cache.engine
     print(f"\nrW after {label}:")
     for node in graph.nodes:
         ops = ",".join(sorted(op.name for op in node.ops))

@@ -32,7 +32,11 @@ from repro.core import (
     History,
     InstallationGraph,
     WriteWritePolicy,
+    WriteGraphEngine,
+    make_engine,
+    BatchWriteGraph,
     WriteGraph,
+    IncrementalWriteGraph,
     RefinedWriteGraph,
     RedoTest,
     RedoAll,
@@ -65,7 +69,7 @@ from repro.kernel import (
     TortureReport,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ObjectId",
@@ -79,7 +83,11 @@ __all__ = [
     "History",
     "InstallationGraph",
     "WriteWritePolicy",
+    "WriteGraphEngine",
+    "make_engine",
+    "BatchWriteGraph",
     "WriteGraph",
+    "IncrementalWriteGraph",
     "RefinedWriteGraph",
     "RedoTest",
     "RedoAll",

@@ -2,7 +2,12 @@
 
 from repro.analysis.tables import Table, format_bytes, ratio
 from repro.analysis.trace import TraceEvent, Tracer
-from repro.analysis.logstats import LogBreakdown, analyze_log, fault_summary
+from repro.analysis.logstats import (
+    LogBreakdown,
+    analyze_log,
+    engine_summary,
+    fault_summary,
+)
 
 __all__ = [
     "Table",
@@ -12,5 +17,6 @@ __all__ = [
     "Tracer",
     "LogBreakdown",
     "analyze_log",
+    "engine_summary",
     "fault_summary",
 ]

@@ -7,7 +7,8 @@ is about — and used by examples and tests to report log composition.
 
 Also renders the fault-injection ledger (:func:`fault_summary`): how
 many faults a torture campaign injected and how each was absorbed —
-retried, checksum-detected, quarantined, media-recovered.
+retried, checksum-detected, quarantined, media-recovered — and the
+write-graph engine's counters (:func:`engine_summary`).
 """
 
 from __future__ import annotations
@@ -109,6 +110,26 @@ def fault_summary(
         else:
             value = stats.get(name, 0)
         table.add_row(label, value)
+    return table
+
+
+def engine_summary(
+    stats: Mapping[str, object],
+    title: str = "write-graph engine counters",
+) -> Table:
+    """A :meth:`WriteGraphEngine.stats` mapping as a printable table.
+
+    The ``engine`` entry (the mode string) becomes part of the title;
+    the remaining counters are emitted in the engine's own order.
+    """
+    mode = stats.get("engine")
+    if mode:
+        title = f"{title} [{mode}]"
+    table = Table(title, ["counter", "value"])
+    for name, value in stats.items():
+        if name == "engine":
+            continue
+        table.add_row(name, value)
     return table
 
 

@@ -8,8 +8,17 @@ plus the Figure 6 incremental graph maintenance):
 2. append the operation's record to the volatile log (assigning its
    lSI);
 3. apply the transform, updating cached entries (dirty, vSI = lSI);
-4. register the operation in the write graph and the dirty-object /
-   uninstalled-writer tables.
+4. register the operation in the write-graph engine and the
+   dirty-object / uninstalled-writer tables.
+
+The manager holds exactly **one live write-graph engine** (a
+:class:`~repro.core.engine.WriteGraphEngine`), selected by
+``CacheConfig.graph_mode`` and built once by
+:func:`~repro.core.engine.make_engine`: the refined ``rW`` engine or
+the incremental ``W`` engine.  Both are maintained per operation —
+neither mode ever rebuilds a graph from scratch on the hot path
+(``engine.stats()["full_rebuilds"]`` stays 0), which is what retired
+the old per-purge ``WriteGraph`` batch reconstruction.
 
 Installation (PurgeCache, Figure 4, generalized for rW):
 
@@ -27,6 +36,7 @@ Installation (PurgeCache, Figure 4, generalized for rW):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
 
@@ -35,23 +45,25 @@ from repro.common.identifiers import NULL_SI, ObjectId, StateId
 from repro.common.retry import retry_transient
 from repro.cache.config import CacheConfig, GraphMode, MultiObjectStrategy
 from repro.cache.policies import LRUEviction
+from repro.core.engine import WriteGraphEngine, make_engine
 from repro.core.functions import FunctionRegistry
-from repro.core.installation_graph import InstallationGraph, WriteWritePolicy
 from repro.core.operation import (
     Operation,
     TOMBSTONE,
     execute_transform,
     identity_write,
 )
-from repro.core.refined_write_graph import RefinedWriteGraph, RWNode
+from repro.core.refined_write_graph import RWNode
 from repro.core.state_identifiers import DirtyObjectTable, UninstalledWriters
-from repro.core.write_graph import WriteGraph, WriteGraphNode
+from repro.core.write_graph import WriteGraphNode
 from repro.storage.stable_store import StableStore, StoredVersion
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
 from repro.wal.records import CheckpointRecord, FlushRecord, InstallationRecord
 
 #: Either write-graph node type; both expose ops/vars/notx/max_lsi.
+#: (The live engines both mint RWNode; WriteGraphNode remains for the
+#: batch Figure 3 construction used by tests and baselines.)
 AnyNode = Union[RWNode, WriteGraphNode]
 
 
@@ -84,7 +96,7 @@ class CacheManager:
         self.dirty_table = DirtyObjectTable()
         self._writers = UninstalledWriters()
         self._uninstalled: Dict[StateId, Operation] = {}
-        self._rw = RefinedWriteGraph()
+        self._engine: WriteGraphEngine = make_engine(self.config.graph_mode)
         #: Access-recency tracker feeding the hot-object victim policy;
         #: maintained regardless of the configured eviction policy.
         self.heat = LRUEviction()
@@ -176,8 +188,7 @@ class CacheManager:
             self.dirty_table.note_write(obj, op.lsi)
             self._writers.note(obj, op.lsi)
         self._uninstalled[op.lsi] = op
-        if self.config.graph_mode is GraphMode.RW:
-            self._rw.add_operation(op)
+        self._engine.add_operation(op)
 
     # ------------------------------------------------------------------
     # graph access
@@ -186,21 +197,31 @@ class CacheManager:
         """Uninstalled operations in conflict (log) order."""
         return [self._uninstalled[lsi] for lsi in sorted(self._uninstalled)]
 
-    def write_graph(self) -> Union[RefinedWriteGraph, WriteGraph]:
-        """The current write graph (W is recomputed on demand)."""
-        if self.config.graph_mode is GraphMode.RW:
-            return self._rw
-        installation = InstallationGraph(
-            self.uninstalled_operations(), WriteWritePolicy.REPEAT_HISTORY
+    @property
+    def engine(self) -> WriteGraphEngine:
+        """The live write-graph engine (rW or incremental W, by mode)."""
+        return self._engine
+
+    def write_graph(self) -> WriteGraphEngine:
+        """Deprecated: use the :attr:`engine` property.
+
+        Both modes now maintain one live engine per operation; nothing
+        is recomputed on demand anymore.
+        """
+        warnings.warn(
+            "CacheManager.write_graph() is deprecated: use the "
+            "CacheManager.engine property",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return WriteGraph(installation)
+        return self._engine
 
     # ------------------------------------------------------------------
     # PurgeCache
     # ------------------------------------------------------------------
     def purge(self) -> bool:
         """Install one write-graph node; False when nothing is dirty."""
-        graph = self.write_graph()
+        graph = self._engine
         if not len(graph):
             return False
         use_identity = (
@@ -323,13 +344,13 @@ class CacheManager:
         self._enforcing = True
         try:
             while True:
-                current = self._rw.node_of(anchor)
+                current = self._engine.node_of(anchor)
                 if current is None:  # pragma: no cover - defensive
                     raise CacheError("anchor operation vanished from rW")
                 if len(current.vars) <= 1:
                     return current
                 guard += 1
-                if guard > 4 * (len(current.vars) + len(self._rw)) + 16:
+                if guard > 4 * (len(current.vars) + len(self._engine)) + 16:
                     raise CacheError(
                         "identity-write injection did not converge"
                     )
@@ -349,9 +370,7 @@ class CacheManager:
     # ------------------------------------------------------------------
     # installation
     # ------------------------------------------------------------------
-    def _install_node(
-        self, node: AnyNode, graph: Union[RefinedWriteGraph, WriteGraph]
-    ) -> None:
+    def _install_node(self, node: AnyNode, graph: WriteGraphEngine) -> None:
         if graph.predecessors(node):  # pragma: no cover - defensive
             raise CacheError(f"{node!r} is not minimal")
         ops = sorted(node.ops, key=lambda o: o.lsi)
@@ -439,8 +458,7 @@ class CacheManager:
 
         for op in ops:
             del self._uninstalled[op.lsi]
-        if isinstance(graph, RefinedWriteGraph):
-            graph.remove_node(node)  # also W-mode graphs are throwaway
+        graph.remove_node(node)
 
     def _flush_objects(self, objs: Set[ObjectId]) -> None:
         """Write the current cached versions of ``objs`` to the store.
@@ -534,8 +552,7 @@ class CacheManager:
                 self.dirty_table.note_write(obj, op.lsi)
                 self._writers.note(obj, op.lsi)
             self._uninstalled[op.lsi] = op
-            if self.config.graph_mode is GraphMode.RW:
-                self._rw.add_operation(op)
+            self._engine.add_operation(op)
 
     # ------------------------------------------------------------------
     # introspection

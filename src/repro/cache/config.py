@@ -26,16 +26,10 @@ from repro.cache.policies import (
     PeelFirstSorted,
     VictimPolicy,
 )
+from repro.core.engine import GraphMode
 from repro.storage.atomic import AtomicFlushMechanism, ShadowInstall
 
-
-class GraphMode(enum.Enum):
-    """Which write graph the cache manager maintains."""
-
-    #: The refined write graph rW of this paper (incremental, Figure 6).
-    RW = "rW"
-    #: The write graph W of [8] (batch construction, Figure 3).
-    W = "W"
+__all__ = ["CacheConfig", "GraphMode", "MultiObjectStrategy"]
 
 
 class MultiObjectStrategy(enum.Enum):

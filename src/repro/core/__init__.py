@@ -12,7 +12,13 @@ This package contains the executable form of the framework in Sections
   read-write and (approximated) write-write edges.
 * :mod:`~repro.core.explain` — prefix sets, exposed objects and
   explainable states (Definitions and Theorem 1, executable).
-* :mod:`~repro.core.write_graph` — write graph ``W`` of [8] (Figure 3).
+* :mod:`~repro.core.engine` — the :class:`WriteGraphEngine` protocol,
+  :class:`GraphMode`, and the :func:`make_engine` factory shared by
+  every write-graph implementation.
+* :mod:`~repro.core.write_graph` — write graph ``W`` of [8], batch form
+  (Figure 3) plus the deprecated ``WriteGraph`` shim.
+* :mod:`~repro.core.incremental_write_graph` — ``W`` maintained
+  incrementally (the live W-mode engine).
 * :mod:`~repro.core.refined_write_graph` — the paper's refined write
   graph ``rW`` with incremental construction (Figure 6).
 * :mod:`~repro.core.redo` — SI-based REDO tests, including the
@@ -36,7 +42,9 @@ from repro.core.explain import (
     explains,
     find_explanation,
 )
-from repro.core.write_graph import WriteGraph, WriteGraphNode
+from repro.core.engine import GraphMode, WriteGraphEngine, make_engine
+from repro.core.write_graph import BatchWriteGraph, WriteGraph, WriteGraphNode
+from repro.core.incremental_write_graph import IncrementalWriteGraph
 from repro.core.refined_write_graph import RefinedWriteGraph, RWNode
 from repro.core.redo import (
     RedoDecision,
@@ -61,8 +69,13 @@ __all__ = [
     "is_prefix_set",
     "explains",
     "find_explanation",
+    "GraphMode",
+    "WriteGraphEngine",
+    "make_engine",
+    "BatchWriteGraph",
     "WriteGraph",
     "WriteGraphNode",
+    "IncrementalWriteGraph",
     "RefinedWriteGraph",
     "RWNode",
     "RedoDecision",

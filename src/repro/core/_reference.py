@@ -44,6 +44,10 @@ class ReferenceWriteGraph:
         self._readers_since_write: Dict[ObjectId, Set[RWNode]] = {}
         #: Count of node merges forced by cycle collapse (E8 metric).
         self.cycle_collapses: int = 0
+        #: stats() bookkeeping (WriteGraphEngine protocol compliance;
+        #: counters only — the algorithm itself stays untouched).
+        self.full_rebuilds: int = 0
+        self._ops_added: int = 0
 
     # ------------------------------------------------------------------
     # plumbing
@@ -106,6 +110,7 @@ class ReferenceWriteGraph:
     # ------------------------------------------------------------------
     def add_operation(self, op: Operation) -> RWNode:
         """Insert ``op``, presented in conflict order, and return its node."""
+        self._ops_added += 1
         exp = op.exp
         notexp = op.notexp
 
@@ -213,6 +218,16 @@ class ReferenceWriteGraph:
 
     def flush_set_sizes(self) -> List[int]:
         return [len(n.vars) for n in self.nodes]
+
+    def stats(self) -> Dict[str, object]:
+        """Engine counters (the WriteGraphEngine ``stats()`` hook)."""
+        return {
+            "engine": "rW-reference",
+            "operations_added": self._ops_added,
+            "live_nodes": len(self.nodes),
+            "cycle_collapses": self.cycle_collapses,
+            "full_rebuilds": self.full_rebuilds,
+        }
 
     def __len__(self) -> int:
         return len(self.nodes)

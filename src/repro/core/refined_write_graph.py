@@ -109,7 +109,16 @@ class RWNode:
 
 
 class RefinedWriteGraph:
-    """Incrementally-maintained refined write graph, fully indexed."""
+    """Incrementally-maintained refined write graph, fully indexed.
+
+    Implements the :class:`~repro.core.engine.WriteGraphEngine`
+    protocol; :class:`~repro.core.incremental_write_graph.IncrementalWriteGraph`
+    reuses this class's machinery with W's coarser exposure rule.
+    """
+
+    #: Mode string reported by :meth:`stats` ("rW" here; the W-mode
+    #: subclass overrides it).
+    engine_name = "rW"
 
     def __init__(self) -> None:
         #: Insertion-ordered node set.  Merge targets are always the
@@ -149,6 +158,13 @@ class RefinedWriteGraph:
         self._logging: bool = False
         #: Count of node merges forced by cycle collapse (E8 metric).
         self.cycle_collapses: int = 0
+        #: stats() counters.  ``full_rebuilds`` stays 0 by construction
+        #: — an incremental engine never reconstructs from scratch; the
+        #: cache manager asserts this on the hot path.
+        self.full_rebuilds: int = 0
+        self._ops_added: int = 0
+        self._merges: int = 0
+        self._removals: int = 0
 
     @property
     def nodes(self) -> List[RWNode]:
@@ -194,6 +210,7 @@ class RefinedWriteGraph:
         """
         if len(group) == 1:
             return group[0]
+        self._merges += 1
         target = group[0]
         rest = group[1:]
         members = set(group)
@@ -363,6 +380,7 @@ class RefinedWriteGraph:
     # ------------------------------------------------------------------
     def add_operation(self, op: Operation) -> RWNode:
         """Insert ``op``, presented in conflict order, and return its node."""
+        self._ops_added += 1
         exp = op.exp
         notexp = op.notexp
         self._edge_log.clear()
@@ -467,6 +485,7 @@ class RefinedWriteGraph:
         """
         if self._pred[node]:
             raise ValueError(f"{node!r} has uninstalled predecessors")
+        self._removals += 1
         flushed, unexposed = set(node.vars), set(node.notx)
         for succ in self._succ.pop(node):
             preds = self._pred[succ]
@@ -526,6 +545,18 @@ class RefinedWriteGraph:
     def flush_set_sizes(self) -> List[int]:
         """|vars(n)| for every node — the E4 metric."""
         return [len(n.vars) for n in self._nodes]
+
+    def stats(self) -> Dict[str, object]:
+        """Engine counters (the WriteGraphEngine ``stats()`` hook)."""
+        return {
+            "engine": self.engine_name,
+            "operations_added": self._ops_added,
+            "live_nodes": len(self._nodes),
+            "merges": self._merges,
+            "cycle_collapses": self.cycle_collapses,
+            "removals": self._removals,
+            "full_rebuilds": self.full_rebuilds,
+        }
 
     def __len__(self) -> int:
         return len(self._nodes)

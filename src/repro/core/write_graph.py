@@ -1,12 +1,13 @@
-"""Write graph ``W`` of [8] (Figure 3 of the paper).
+"""Write graph ``W`` of [8] (Figure 3 of the paper), batch form.
 
 The cache manager's central problem: installation-graph nodes are
-*operations* but the cache manager writes *objects*.  ``WriteGraph``
+*operations* but the cache manager writes *objects*.  The write graph
 translates the installation subgraph over the cached uninstalled
 operations into a graph whose nodes carry sets of objects that must be
 flushed atomically, with edges giving the required flush order.
 
-The Figure 3 construction, verbatim:
+This module holds the **batch** Figure 3 construction,
+:class:`BatchWriteGraph`, verbatim:
 
 1. ``T`` — the transitive closure of O ~ P iff
    ``writeset(O) ∩ writeset(P) ≠ ∅`` (overlapping updates must install
@@ -19,11 +20,22 @@ The Figure 3 construction, verbatim:
 In W, ``vars(n) = Writes(n)``: every object written by a node's
 operations is in its atomic flush set, and |vars(n)| only grows until
 the node is flushed — the inflexibility the refined write graph fixes.
+
+The batch form is **not** what the cache manager runs anymore: the
+live W-mode engine is
+:class:`~repro.core.incremental_write_graph.IncrementalWriteGraph`,
+which maintains the same graph one operation at a time.  BatchWriteGraph
+remains the obviously-Figure-3 reference that the W-mode differential
+tests rebuild against, and the per-purge-rebuild baseline the E10
+W-mode lane measures its speedup over.  The old :class:`WriteGraph`
+name survives as a deprecated shim that feeds the installation graph's
+operations through the incremental engine.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.common.identifiers import ObjectId
@@ -82,14 +94,18 @@ class WriteGraphNode:
         return self is other
 
 
-class WriteGraph:
-    """Acyclic write graph computed by the Figure 3 algorithm."""
+class BatchWriteGraph:
+    """Acyclic write graph computed by the Figure 3 batch algorithm."""
 
     def __init__(self, installation: InstallationGraph) -> None:
         self.installation = installation
         self.nodes: List[WriteGraphNode] = []
         self._succ: Dict[WriteGraphNode, Set[WriteGraphNode]] = {}
         self._pred: Dict[WriteGraphNode, Set[WriteGraphNode]] = {}
+        #: Always 0: SCC collapse happens inside the batch build, not as
+        #: observable incremental events.  Present for the engine
+        #: protocol.
+        self.cycle_collapses: int = 0
         self._build()
 
     # ------------------------------------------------------------------
@@ -170,16 +186,30 @@ class WriteGraph:
                 return node
         return None
 
-    def remove_node(self, node: WriteGraphNode) -> None:
+    def holder_of(self, obj: ObjectId) -> Optional[WriteGraphNode]:
+        """The node with ``obj`` in its flush set, if any (in W every
+        written object is in exactly one live node's vars)."""
+        for node in self.nodes:
+            if obj in node.vars:
+                return node
+        return None
+
+    def remove_node(
+        self, node: WriteGraphNode
+    ) -> Tuple[Set[ObjectId], Set[ObjectId]]:
         """Remove an installed node and all its edges.
 
         Per the paper, removal of a minimal node never creates cycles.
+        Returns the ``(vars, notx)`` partition at removal — ``notx`` is
+        always empty in W.
         """
+        flushed = set(node.vars)
         for succ in self._succ.pop(node):
             self._pred[succ].discard(node)
         for pred in self._pred.pop(node):
             self._succ[pred].discard(node)
         self.nodes.remove(node)
+        return flushed, set()
 
     def is_acyclic(self) -> bool:
         """Sanity check used by tests: W must always be acyclic."""
@@ -194,5 +224,67 @@ class WriteGraph:
             for dst in dsts:
                 yield src, dst
 
+    def uninstalled_operations(self) -> Set[Operation]:
+        """All operations currently held by the graph."""
+        out: Set[Operation] = set()
+        for node in self.nodes:
+            out |= node.ops
+        return out
+
+    def flush_set_sizes(self) -> List[int]:
+        """|vars(n)| for every node — the E4 metric."""
+        return [len(n.vars) for n in self.nodes]
+
+    def stats(self) -> Dict[str, object]:
+        """Engine counters.  A batch construction *is* one full
+        rebuild — exactly what the incremental engines exist to avoid."""
+        return {
+            "engine": "W-batch",
+            "operations_added": len(self.installation.ops),
+            "live_nodes": len(self.nodes),
+            "cycle_collapses": 0,
+            "full_rebuilds": 1,
+        }
+
     def __len__(self) -> int:
         return len(self.nodes)
+
+
+class WriteGraph:
+    """Deprecated: the pre-protocol name for a W graph built from an
+    installation graph.
+
+    Use :func:`repro.core.engine.make_engine`\\ (``GraphMode.W``) for a
+    live engine, or :class:`BatchWriteGraph` for the verbatim Figure 3
+    batch construction.  This shim feeds the installation graph's
+    operations through an
+    :class:`~repro.core.incremental_write_graph.IncrementalWriteGraph`
+    (the two produce identical graphs — the W-mode differential suite
+    holds them to node/edge/flush-set equality) and delegates every
+    query to it; nodes are therefore the engine's ``RWNode`` objects,
+    not :class:`WriteGraphNode`.
+    """
+
+    def __init__(self, installation: InstallationGraph) -> None:
+        warnings.warn(
+            "WriteGraph(installation) is deprecated: use "
+            "make_engine(GraphMode.W) for the live incremental engine, "
+            "or BatchWriteGraph for the Figure 3 batch construction",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported here: the engine module imports nothing from this
+        # one, but keeping the shim's dependency local makes the batch
+        # class importable even mid-refactor.
+        from repro.core.incremental_write_graph import IncrementalWriteGraph
+
+        self.installation = installation
+        self._engine = IncrementalWriteGraph()
+        for op in installation.ops:
+            self._engine.add_operation(op)
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine, name)
+
+    def __len__(self) -> int:
+        return len(self._engine)

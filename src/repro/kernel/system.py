@@ -167,6 +167,11 @@ class RecoverableSystem:
         """Install one write-graph node (PurgeCache)."""
         return self.cache.purge()
 
+    @property
+    def engine(self):
+        """The cache manager's live write-graph engine (rW or W)."""
+        return self.cache.engine
+
     def flush_all(self) -> int:
         """Install every uninstalled operation."""
         return self.cache.flush_all()

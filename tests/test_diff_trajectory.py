@@ -1,0 +1,113 @@
+"""Unit tests for the CI trajectory diff (benchmarks/diff_trajectory.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.diff_trajectory import collect_lanes, compare, main
+
+
+SAMPLE = {
+    "max_ops": 1000,
+    "graph_maintenance": {
+        "indexed": {
+            "heavy@1000": {"ops_per_sec": 50000.0, "p50_us": 11.0},
+            "heavy@250": {"ops_per_sec": 60000.0},
+        },
+        "reference": {
+            "heavy@250": {"ops_per_sec": 1500.0},
+            "heavy@1000": {
+                "ops_per_sec": 1200.0,
+                "extrapolated": True,
+                "fit_exponent": 2.0,
+            },
+        },
+        "speedup": 33.3,
+    },
+    "kernel_end_to_end": {"1000": {"ops_per_sec": 9000.0}},
+}
+
+
+class TestCollectLanes:
+    def test_collects_all_measured_lanes(self):
+        lanes = collect_lanes(SAMPLE)
+        assert lanes == {
+            "graph_maintenance.indexed.heavy@1000": 50000.0,
+            "graph_maintenance.indexed.heavy@250": 60000.0,
+            "graph_maintenance.reference.heavy@250": 1500.0,
+            "kernel_end_to_end.1000": 9000.0,
+        }
+
+    def test_extrapolated_lanes_skipped(self):
+        lanes = collect_lanes(SAMPLE)
+        assert "graph_maintenance.reference.heavy@1000" not in lanes
+
+    def test_non_dict_input(self):
+        assert collect_lanes([1, 2]) == {}
+        assert collect_lanes({"a": 3.0}) == {}
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        base = {"lane": 1000.0}
+        _, regressions = compare(base, {"lane": 850.0}, threshold=0.20)
+        assert regressions == []
+
+    def test_regression_beyond_threshold(self):
+        base = {"lane": 1000.0}
+        report, regressions = compare(base, {"lane": 700.0}, threshold=0.20)
+        assert len(regressions) == 1
+        assert any("[REGRESS]" in line for line in report)
+
+    def test_improvement_is_ok(self):
+        _, regressions = compare({"lane": 1000.0}, {"lane": 5000.0})
+        assert regressions == []
+
+    def test_new_lane_is_baseline_only(self):
+        report, regressions = compare({}, {"w_mode.incremental": 9e5})
+        assert regressions == []
+        assert any("[new]" in line for line in report)
+
+    def test_missing_lane_does_not_fail(self):
+        """Smoke runs measure a subset of the full-size lanes."""
+        report, regressions = compare(
+            {"heavy@20000": 1e5, "heavy@1000": 5e4}, {"heavy@1000": 5e4}
+        )
+        assert regressions == []
+        assert any("[gone]" in line for line in report)
+
+
+class TestMain:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", SAMPLE)
+        assert main([base, base]) == 0
+        assert "no lane regressed" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        regressed = json.loads(json.dumps(SAMPLE))
+        lane = regressed["graph_maintenance"]["indexed"]["heavy@1000"]
+        lane["ops_per_sec"] = 10000.0
+        base = self._write(tmp_path / "base.json", SAMPLE)
+        cur = self._write(tmp_path / "cur.json", regressed)
+        assert main([base, cur]) == 1
+        assert "[REGRESS]" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        softer = json.loads(json.dumps(SAMPLE))
+        lane = softer["graph_maintenance"]["indexed"]["heavy@1000"]
+        lane["ops_per_sec"] = 30000.0  # -40%
+        base = self._write(tmp_path / "base.json", SAMPLE)
+        cur = self._write(tmp_path / "cur.json", softer)
+        assert main([base, cur]) == 1
+        assert main([base, cur, "--threshold", "0.5"]) == 0
+
+    def test_missing_baseline_is_noop(self, tmp_path, capsys):
+        cur = self._write(tmp_path / "cur.json", SAMPLE)
+        assert main([str(tmp_path / "absent.json"), cur]) == 0
+        assert "nothing to diff" in capsys.readouterr().out

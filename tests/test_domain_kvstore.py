@@ -51,7 +51,7 @@ class TestDegenerateWriteGraph:
         kv = KVPageStore(system, pages=8)
         for index in range(40):
             kv.put(index, index)
-        graph = system.cache.write_graph()
+        graph = system.cache.engine
         assert all(len(n.vars) == 1 for n in graph.nodes)
         assert list(graph.edges()) == []
         # Every node is immediately flushable, in any order.

@@ -6,7 +6,7 @@ from repro import (
     Operation,
     OpKind,
     RecoverableSystem,
-    WriteGraph,
+    BatchWriteGraph,
     InstallationGraph,
 )
 from repro.core.explain import find_explanation
@@ -85,7 +85,7 @@ class TestWriteGraphEdges:
             logical("a", "f", {"x"}, {"y"})
         )
         b = history.append(physical("x", b"v"))
-        graph = WriteGraph(InstallationGraph(list(history)))
+        graph = BatchWriteGraph(InstallationGraph(list(history)))
         edges = list(graph.edges())
         assert len(edges) == 1
         assert edges[0][1] is graph.node_of(b)

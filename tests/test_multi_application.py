@@ -57,7 +57,7 @@ class TestChain:
         # Overwrite the intermediate (blind) — the consumer's read of
         # the old value makes its state flush-ordered before this.
         fs.write_file("mid-c", b"NEWVALUE")
-        graph = system.cache.write_graph()
+        graph = system.cache.engine
         assert graph.is_acyclic()
         # Drain fully and verify crash consistency at every step.
         while system.purge():

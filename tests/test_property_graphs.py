@@ -21,7 +21,7 @@ from repro.core.history import History
 from repro.core.installation_graph import InstallationGraph
 from repro.core.operation import Operation, OpKind
 from repro.core.refined_write_graph import RefinedWriteGraph
-from repro.core.write_graph import WriteGraph
+from repro.core.write_graph import BatchWriteGraph
 
 OBJECTS = ["a", "b", "c", "d", "e"]
 
@@ -114,7 +114,7 @@ class TestWVersusRW:
     @settings(max_examples=examples(100), deadline=None)
     def test_w_acyclic_and_complete(self, specs):
         ops = _build_ops(specs)
-        graph = WriteGraph(InstallationGraph(ops))
+        graph = BatchWriteGraph(InstallationGraph(ops))
         assert graph.is_acyclic()
         covered = set()
         for node in graph.nodes:
@@ -128,7 +128,7 @@ class TestWVersusRW:
         larger than the W node flushing it: the refinement only ever
         removes objects from atomic flush sets."""
         ops = _build_ops(specs)
-        w_graph = WriteGraph(InstallationGraph(ops))
+        w_graph = BatchWriteGraph(InstallationGraph(ops))
         rw_graph = _build_rw(ops)
         w_set_of = {}
         for node in w_graph.nodes:
@@ -147,7 +147,7 @@ class TestWVersusRW:
         are installed without flushing)."""
         ops = _build_ops(specs)
         w_total = sum(
-            len(n.vars) for n in WriteGraph(InstallationGraph(ops)).nodes
+            len(n.vars) for n in BatchWriteGraph(InstallationGraph(ops)).nodes
         )
         rw_total = sum(len(n.vars) for n in _build_rw(ops).nodes)
         assert rw_total <= w_total

@@ -1,15 +1,22 @@
-"""Differential property tests: indexed engine vs the naive reference.
+"""Differential property tests: incremental engines vs naive rebuilds.
 
-``repro.core._reference.ReferenceWriteGraph`` is the scan-everything
-Figure 6 construction, kept deliberately naive.  These tests feed
-identical randomized operation streams to it and to the indexed
-:class:`~repro.core.refined_write_graph.RefinedWriteGraph` and require
-the results to match *exactly* — node shapes, flush sets, edges,
-cycle-collapse counts, and install orders — including with node
-installation interleaved into the stream.
+Two oracles, one per graph mode:
 
-Nodes are compared by their operation-name sets: both engines mint
-their own ``RWNode`` instances, but a node *is* its set of operations.
+* rW — ``repro.core._reference.ReferenceWriteGraph`` is the
+  scan-everything Figure 6 construction, kept deliberately naive.  The
+  indexed :class:`~repro.core.refined_write_graph.RefinedWriteGraph`
+  must match it *exactly* — node shapes, flush sets, edges,
+  cycle-collapse counts, and install orders — including with node
+  installation interleaved into the stream.
+* W — :class:`~repro.core.write_graph.BatchWriteGraph` is the verbatim
+  Figure 3 batch algorithm.  The live
+  :class:`~repro.core.incremental_write_graph.IncrementalWriteGraph`
+  must produce the same graph (nodes, vars, edges, flush-set sizes,
+  minimal sets, unordered) as a batch rebuild over the surviving
+  operations, at every checkpoint and after every install.
+
+Nodes are compared by their operation-name sets: the engines mint
+their own node instances, but a node *is* its set of operations.
 """
 
 from __future__ import annotations
@@ -21,7 +28,10 @@ import pytest
 
 from repro.core._reference import ReferenceWriteGraph
 from repro.core.history import History
+from repro.core.incremental_write_graph import IncrementalWriteGraph
+from repro.core.installation_graph import InstallationGraph
 from repro.core.refined_write_graph import RefinedWriteGraph
+from repro.core.write_graph import BatchWriteGraph
 from repro.workloads import LogicalWorkload, LogicalWorkloadConfig
 
 MIXES = [
@@ -159,3 +169,103 @@ def test_queries_match_after_stream():
         if holder_ref is not None:
             assert _key(holder_ref) == _key(holder_idx), obj
     assert ref.uninstalled_operations() == idx.uninstalled_operations()
+
+
+# ----------------------------------------------------------------------
+# W mode: incremental engine vs the Figure 3 batch construction
+# ----------------------------------------------------------------------
+#
+# The incremental W engine never rebuilds; BatchWriteGraph rebuilds from
+# the surviving operations every time it is asked.  Batch node order and
+# node identity are arbitrary, so W shapes are compared *unordered* by
+# op-name sets — unlike the rW suite above, which also checks order.
+
+
+def _w_shape(graph) -> dict:
+    by_key = {_key(n): n for n in graph.nodes}
+    assert len(by_key) == len(graph.nodes)
+    return {
+        "nodes": set(by_key),
+        "vars": {k: set(n.vars) for k, n in by_key.items()},
+        "edges": {(_key(a), _key(b)) for a, b in graph.edges()},
+        "flush_sizes": sorted(graph.flush_set_sizes()),
+        "minimal": {_key(n) for n in graph.minimal_nodes()},
+    }
+
+
+def _assert_w_same(live_ops, incremental: IncrementalWriteGraph) -> None:
+    batch = BatchWriteGraph(InstallationGraph(list(live_ops)))
+    a, b = _w_shape(batch), _w_shape(incremental)
+    assert a["nodes"] == b["nodes"]
+    assert a["vars"] == b["vars"]
+    assert a["edges"] == b["edges"]
+    assert a["flush_sizes"] == b["flush_sizes"]
+    assert a["minimal"] == b["minimal"]
+    assert incremental.is_acyclic()
+    # W never unexposes: vars(n) = Writes(n) and Notx(n) = ∅, always.
+    for node in incremental.nodes:
+        assert not node.notx
+        assert set(node.vars) == {
+            obj for op in node.ops for obj in op.writes
+        }
+
+
+@pytest.mark.parametrize("mix_name,mix", MIXES)
+@pytest.mark.parametrize("seed", range(4))
+def test_w_insertion_stream_matches_batch(mix_name, mix, seed):
+    ops = _stream(mix, seed)
+    incremental = IncrementalWriteGraph()
+    for count, op in enumerate(ops, start=1):
+        incremental.add_operation(op)
+        if count % 30 == 0:
+            _assert_w_same(ops[:count], incremental)
+    _assert_w_same(ops, incremental)
+    assert incremental.stats()["full_rebuilds"] == 0
+
+
+@pytest.mark.parametrize("mix_name,mix", MIXES)
+@pytest.mark.parametrize("seed", range(3))
+def test_w_interleaved_installation_matches_batch(mix_name, mix, seed):
+    """Install minimal W nodes mid-stream; the surviving graph must
+    equal a batch rebuild of the surviving operations."""
+    rng = random.Random(seed * 6007 + 29)
+    live = []
+    incremental = IncrementalWriteGraph()
+    for op in _stream(mix, seed + 200):
+        incremental.add_operation(op)
+        live.append(op)
+        if rng.random() < 0.2 and incremental.nodes:
+            node = min(incremental.minimal_nodes(), key=_key)
+            flushed, notx = incremental.remove_node(node)
+            assert notx == set()
+            assert flushed == {o for op_ in node.ops for o in op_.writes}
+            installed = set(node.ops)
+            live = [o for o in live if o not in installed]
+            _assert_w_same(live, incremental)
+    _assert_w_same(live, incremental)
+    # Drain fully; every removal must stay consistent with a rebuild.
+    while len(incremental):
+        node = min(incremental.minimal_nodes(), key=_key)
+        incremental.remove_node(node)
+        installed = set(node.ops)
+        live = [o for o in live if o not in installed]
+        _assert_w_same(live, incremental)
+    assert live == []
+    assert incremental.uninstalled_operations() == set()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_w_adversarial_tiny_population(seed):
+    """Few objects, heavy logical mix: writeset overlap merges nearly
+    everything, the W engine's worst case."""
+    ops = _stream(
+        dict(w_physical=0.1, w_touch=0.1, w_combine=0.5, w_derive=0.3),
+        seed=seed,
+        operations=150,
+        objects=3,
+    )
+    incremental = IncrementalWriteGraph()
+    for op in ops:
+        incremental.add_operation(op)
+    _assert_w_same(ops, incremental)
+    assert incremental.stats()["merges"] > 0

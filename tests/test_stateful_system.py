@@ -180,7 +180,7 @@ class RecoverableSystemMachine(RuleBasedStateMachine):
     def write_graph_acyclic(self):
         if self.crashed:
             return
-        assert self.system.cache.write_graph().is_acyclic()
+        assert self.system.cache.engine.is_acyclic()
 
     @invariant()
     def dirty_table_agrees_with_cache(self):
@@ -198,7 +198,7 @@ class RecoverableSystemMachine(RuleBasedStateMachine):
     def vars_holders_unique(self):
         if self.crashed:
             return
-        graph = self.system.cache.write_graph()
+        graph = self.system.cache.engine
         seen = set()
         for node in graph.nodes:
             overlap = seen & set(node.vars)

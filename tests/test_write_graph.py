@@ -3,7 +3,7 @@
 from repro.core.history import History
 from repro.core.installation_graph import InstallationGraph
 from repro.core.operation import Operation, OpKind
-from repro.core.write_graph import WriteGraph
+from repro.core.write_graph import BatchWriteGraph
 
 
 def _op(name, reads, writes):
@@ -16,7 +16,7 @@ def _graph(*ops):
     history = History()
     for op in ops:
         history.append(op)
-    return WriteGraph(InstallationGraph(list(history)))
+    return BatchWriteGraph(InstallationGraph(list(history)))
 
 
 class TestCollapse:
