@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from repro.common import ObjectId, StateId
+from repro.common.errors import DegradedModeError
 from repro.core import (
     OpKind,
     Operation,
@@ -35,7 +36,6 @@ from repro.core import (
     WriteGraphEngine,
     make_engine,
     BatchWriteGraph,
-    WriteGraph,
     IncrementalWriteGraph,
     RefinedWriteGraph,
     RedoTest,
@@ -61,15 +61,19 @@ from repro.storage import (
 from repro.kernel import (
     RecoverableSystem,
     SystemConfig,
+    SystemHealth,
     CrashInjector,
     verify_recovered,
     VerificationError,
+    FailureReport,
+    RecoverySupervisor,
+    SupervisorConfig,
     TortureConfig,
     TortureHarness,
     TortureReport,
 )
 
-__version__ = "1.1.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ObjectId",
@@ -86,7 +90,6 @@ __all__ = [
     "WriteGraphEngine",
     "make_engine",
     "BatchWriteGraph",
-    "WriteGraph",
     "IncrementalWriteGraph",
     "RefinedWriteGraph",
     "RedoTest",
@@ -108,11 +111,16 @@ __all__ = [
     "FaultSpec",
     "FaultyStore",
     "FuzzRates",
+    "DegradedModeError",
     "RecoverableSystem",
     "SystemConfig",
+    "SystemHealth",
     "CrashInjector",
     "verify_recovered",
     "VerificationError",
+    "FailureReport",
+    "RecoverySupervisor",
+    "SupervisorConfig",
     "TortureConfig",
     "TortureHarness",
     "TortureReport",

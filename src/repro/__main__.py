@@ -8,6 +8,11 @@
 * ``torture fuzz`` — N seeded random fault schedules; any failure
   prints the seed that reproduces it exactly
   (``python -m repro torture fuzz --runs 1 --seed <that seed>``).
+* ``torture v2`` — the recovery-resilience campaign: crash/tear/flip
+  every numbered *recovery-phase* I/O point (including nested crashes
+  during restarted recoveries), then fuzz schedules spanning both
+  phases, all driven through the supervisor's escalation ladder.  A
+  failing run prints its structured recovery supervision report.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ import argparse
 from typing import List, Optional
 
 from repro import RecoverableSystem, verify_recovered
-from repro.analysis import Table, fault_summary, format_bytes
+from repro.analysis import Table, failure_summary, fault_summary, format_bytes
 from repro.domains import (
     ApplicationRuntime,
     RecoverableBTree,
@@ -93,6 +98,8 @@ def _report_torture(report: TortureReport) -> int:
         print(f"  {outcome.description}: {outcome.error}{repro_hint}")
         if outcome.trace:
             print(f"    faults applied: {', '.join(outcome.trace)}")
+        if outcome.failure_report is not None:
+            print(failure_summary(outcome.failure_report).render())
     return 1
 
 
@@ -117,6 +124,28 @@ def torture_fuzz(args: argparse.Namespace) -> int:
         f"(workload seed {args.workload_seed})"
     )
     return _report_torture(harness.fuzz(args.runs, args.seed, rates))
+
+
+def torture_v2(args: argparse.Namespace) -> int:
+    harness = TortureHarness(_torture_config(args))
+    points = harness.recovery_points()
+    print(
+        f"torture v2: sweeping {points} recovery-phase I/O points "
+        f"(workload seed {args.workload_seed}, {args.ops} operations)"
+    )
+    sweep = harness.sweep_recovery()
+    status = _report_torture(sweep)
+    if args.fuzz_runs > 0:
+        print(
+            f"\nfuzzing {args.fuzz_runs} two-phase schedules "
+            f"from seed {args.seed}"
+        )
+        rates = FuzzRates(
+            torn=args.p_torn, corrupt=args.p_corrupt, crash=args.p_crash
+        )
+        fuzz = harness.fuzz_recovery(args.fuzz_runs, args.seed, rates)
+        status = _report_torture(fuzz) or status
+    return status
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -158,6 +187,24 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--p-corrupt", type=float, default=0.01,
                       help="per-point corruption rate")
     fuzz.set_defaults(fn=torture_fuzz)
+
+    v2 = tsub.add_parser(
+        "v2", help="crash recovery itself: recovery-point sweep "
+        "(incl. nested crashes) + two-phase fuzz via the supervisor"
+    )
+    common(v2)
+    v2.add_argument("--fuzz-runs", type=int, default=200,
+                    help="two-phase fuzz schedules after the sweep "
+                    "(default 200; 0 skips the fuzz stage)")
+    v2.add_argument("--seed", type=int, default=0,
+                    help="base schedule seed (run i uses seed+i)")
+    v2.add_argument("--p-torn", type=float, default=0.005,
+                    help="per-point torn-write rate")
+    v2.add_argument("--p-corrupt", type=float, default=0.005,
+                    help="per-point corruption rate")
+    v2.add_argument("--p-crash", type=float, default=0.01,
+                    help="per-point clean-crash rate")
+    v2.set_defaults(fn=torture_v2)
     return parser
 
 

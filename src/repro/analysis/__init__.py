@@ -6,6 +6,7 @@ from repro.analysis.logstats import (
     LogBreakdown,
     analyze_log,
     engine_summary,
+    failure_summary,
     fault_summary,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "LogBreakdown",
     "analyze_log",
     "engine_summary",
+    "failure_summary",
     "fault_summary",
 ]

@@ -7,8 +7,11 @@ is about — and used by examples and tests to report log composition.
 
 Also renders the fault-injection ledger (:func:`fault_summary`): how
 many faults a torture campaign injected and how each was absorbed —
-retried, checksum-detected, quarantined, media-recovered — and the
-write-graph engine's counters (:func:`engine_summary`).
+retried, checksum-detected, quarantined, media-recovered, and how many
+recovery attempts/restarts the supervisor drove — the write-graph
+engine's counters (:func:`engine_summary`), and the recovery
+supervisor's structured :class:`~repro.kernel.supervisor.FailureReport`
+(:func:`failure_summary`).
 """
 
 from __future__ import annotations
@@ -90,6 +93,8 @@ _FAULT_ROWS = (
     ("checksum_failures", "checksum failures detected"),
     ("quarantines", "versions quarantined"),
     ("media_recoveries", "media-recovery fallbacks"),
+    ("recovery_attempts", "supervised recovery attempts"),
+    ("recovery_restarts", "mid-recovery crash restarts"),
 )
 
 
@@ -130,6 +135,44 @@ def engine_summary(
         if name == "engine":
             continue
         table.add_row(name, value)
+    return table
+
+
+def failure_summary(
+    report, title: str = "recovery supervision report"
+) -> Table:
+    """A supervisor :class:`~repro.kernel.supervisor.FailureReport`
+    as a printable table: the budget header, one row per attempt (its
+    outcome, the escalation rung taken, and the faults it absorbed),
+    then the lost/restored object verdict.
+    """
+    table = Table(title, ["attempt", "outcome", "escalation", "detail"])
+    deadline = "-" if report.deadline is None else f"{report.deadline:.3f}s"
+    table.add_row(
+        "budget",
+        f"{report.attempts_used}/{report.max_attempts}",
+        f"deadline {deadline}",
+        f"elapsed {report.elapsed:.3f}s",
+    )
+    for record in report.attempts:
+        detail = ", ".join(record.faults) if record.faults else "-"
+        if record.quarantined:
+            detail += (
+                f" [quarantined: "
+                f"{', '.join(map(str, record.quarantined))}]"
+            )
+        table.add_row(
+            str(record.index), record.outcome, record.escalation, detail
+        )
+    table.add_row(
+        "verdict",
+        "converged" if report.converged else "NOT CONVERGED",
+        report.final_health.value,
+        (
+            f"lost {sorted(map(str, report.objects_lost))}, "
+            f"restored {sorted(map(str, report.objects_restored))}"
+        ),
+    )
     return table
 
 

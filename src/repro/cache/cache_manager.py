@@ -36,9 +36,8 @@ Installation (PurgeCache, Figure 4, generalized for rW):
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.common.errors import CacheError
 from repro.common.identifiers import NULL_SI, ObjectId, StateId
@@ -55,16 +54,10 @@ from repro.core.operation import (
 )
 from repro.core.refined_write_graph import RWNode
 from repro.core.state_identifiers import DirtyObjectTable, UninstalledWriters
-from repro.core.write_graph import WriteGraphNode
 from repro.storage.stable_store import StableStore, StoredVersion
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
 from repro.wal.records import CheckpointRecord, FlushRecord, InstallationRecord
-
-#: Either write-graph node type; both expose ops/vars/notx/max_lsi.
-#: (The live engines both mint RWNode; WriteGraphNode remains for the
-#: batch Figure 3 construction used by tests and baselines.)
-AnyNode = Union[RWNode, WriteGraphNode]
 
 
 @dataclass
@@ -200,20 +193,6 @@ class CacheManager:
     @property
     def engine(self) -> WriteGraphEngine:
         """The live write-graph engine (rW or incremental W, by mode)."""
-        return self._engine
-
-    def write_graph(self) -> WriteGraphEngine:
-        """Deprecated: use the :attr:`engine` property.
-
-        Both modes now maintain one live engine per operation; nothing
-        is recomputed on demand anymore.
-        """
-        warnings.warn(
-            "CacheManager.write_graph() is deprecated: use the "
-            "CacheManager.engine property",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         return self._engine
 
     # ------------------------------------------------------------------
@@ -370,7 +349,7 @@ class CacheManager:
     # ------------------------------------------------------------------
     # installation
     # ------------------------------------------------------------------
-    def _install_node(self, node: AnyNode, graph: WriteGraphEngine) -> None:
+    def _install_node(self, node: RWNode, graph: WriteGraphEngine) -> None:
         if graph.predecessors(node):  # pragma: no cover - defensive
             raise CacheError(f"{node!r} is not minimal")
         ops = sorted(node.ops, key=lambda o: o.lsi)

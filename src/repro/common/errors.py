@@ -81,6 +81,18 @@ class CorruptObjectError(ReproError):
     """
 
 
+class DegradedModeError(ReproError):
+    """A write was attempted while the system is in degraded read-only mode.
+
+    The escalation ladder ends in DEGRADED when recovery converged for
+    every object it *could* redo but some objects were lost (quarantined
+    with no backup version and no log-reachable derivation).  Reads of
+    the surviving objects stay available; mutating the state would let
+    new updates depend on holes, so writes raise this error until an
+    operator restores the lost objects and re-opens the system.
+    """
+
+
 class SimulatedCrash(Exception):
     """Base for control-flow exceptions that model a process crash.
 

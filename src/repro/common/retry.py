@@ -9,14 +9,19 @@ number of times, counting each retry in the shared
 :class:`~repro.storage.stats.IOStats` ledger so torture runs can report
 how much transient noise was absorbed.
 
-Backoff is exponential but defaults to zero delay: the simulated fault
-layer injects failures deterministically, and sleeping would only slow
-the harness.  On-disk deployments that expect real transient errors can
-pass a nonzero ``base_delay``.
+Backoff is exponential with an optional jitter fraction and a max-delay
+cap (the classic "full jitter under a ceiling" shape that stops retry
+herds from synchronizing), but defaults to zero delay: the simulated
+fault layer injects failures deterministically, and sleeping would only
+slow the harness.  On-disk deployments that expect real transient errors
+can pass a nonzero ``base_delay``.  The sleep function is injectable so
+tests and the torture harness run with zero real sleeping while still
+exercising the delay computation.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable, Optional, TypeVar
 
@@ -28,22 +33,58 @@ T = TypeVar("T")
 #: transient failures at one I/O point before giving up.
 DEFAULT_ATTEMPTS = 6
 
+#: Default ceiling on one backoff delay, seconds.  Exponential growth
+#: past a few doublings adds latency without adding politeness.
+DEFAULT_MAX_DELAY = 1.0
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base_delay: float,
+    max_delay: float = DEFAULT_MAX_DELAY,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """The delay before retrying after failed attempt ``attempt`` (0-based).
+
+    ``base_delay * 2**attempt``, capped at ``max_delay``, then spread by
+    ``jitter`` (a fraction in [0, 1]): the result is drawn uniformly
+    from ``[(1 - jitter) * delay, delay]``, so ``jitter=0`` is
+    deterministic and ``jitter=1`` is AWS-style full jitter.  Shared by
+    :func:`retry_transient` and the recovery supervisor so both rungs of
+    the escalation ladder pace themselves identically.
+    """
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be in [0, 1]")
+    delay = min(base_delay * (2**attempt), max_delay)
+    if jitter > 0.0 and delay > 0.0:
+        draw = (rng or random).random()
+        delay *= 1.0 - jitter * draw
+    return delay
+
 
 def retry_transient(
     fn: Callable[[], T],
     *,
     attempts: int = DEFAULT_ATTEMPTS,
     base_delay: float = 0.0,
+    max_delay: float = DEFAULT_MAX_DELAY,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
     stats: Optional[object] = None,
     what: str = "storage I/O",
 ) -> T:
     """Call ``fn``, retrying on :class:`TransientStorageError`.
 
     Retries up to ``attempts - 1`` times, sleeping
-    ``base_delay * 2**retry`` between attempts when ``base_delay`` is
-    nonzero.  Each retry bumps ``stats.fault_retries`` when a stats
-    ledger is supplied.  The final failure propagates unchanged so the
-    caller (or a torture harness) sees the exhausted-retries condition.
+    :func:`backoff_delay` seconds between attempts when ``base_delay``
+    is nonzero (via the injectable ``sleep``, so harnesses pass a
+    recording stub and never block).  Each retry bumps
+    ``stats.fault_retries`` when a stats ledger is supplied.  The final
+    failure propagates unchanged so the caller (or a torture harness)
+    sees the exhausted-retries condition.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
@@ -56,5 +97,13 @@ def retry_transient(
             if stats is not None:
                 stats.fault_retries += 1
             if base_delay > 0.0:
-                time.sleep(base_delay * (2**attempt))
+                sleep(
+                    backoff_delay(
+                        attempt,
+                        base_delay=base_delay,
+                        max_delay=max_delay,
+                        jitter=jitter,
+                        rng=rng,
+                    )
+                )
     raise AssertionError("unreachable")  # pragma: no cover

@@ -16,7 +16,7 @@ This package contains the executable form of the framework in Sections
   :class:`GraphMode`, and the :func:`make_engine` factory shared by
   every write-graph implementation.
 * :mod:`~repro.core.write_graph` — write graph ``W`` of [8], batch form
-  (Figure 3) plus the deprecated ``WriteGraph`` shim.
+  (Figure 3).
 * :mod:`~repro.core.incremental_write_graph` — ``W`` maintained
   incrementally (the live W-mode engine).
 * :mod:`~repro.core.refined_write_graph` — the paper's refined write
@@ -43,7 +43,7 @@ from repro.core.explain import (
     find_explanation,
 )
 from repro.core.engine import GraphMode, WriteGraphEngine, make_engine
-from repro.core.write_graph import BatchWriteGraph, WriteGraph, WriteGraphNode
+from repro.core.write_graph import BatchWriteGraph, WriteGraphNode
 from repro.core.incremental_write_graph import IncrementalWriteGraph
 from repro.core.refined_write_graph import RefinedWriteGraph, RWNode
 from repro.core.redo import (
@@ -73,7 +73,6 @@ __all__ = [
     "WriteGraphEngine",
     "make_engine",
     "BatchWriteGraph",
-    "WriteGraph",
     "WriteGraphNode",
     "IncrementalWriteGraph",
     "RefinedWriteGraph",

@@ -21,6 +21,18 @@ practical ARIES-like shape, generalized per Section 5:
 
 The pass never resets installed state (the paper's second write-write
 strategy); history is only ever repeated forward.
+
+Recovery is **restartable** (the paper's Theorem 2 idempotence, taken
+seriously against failing devices): its only stable-state mutations are
+the idempotent flush-transaction re-applies, so a crash at *any* point
+inside a run — a redo-pass read, a re-apply write — can be answered by
+simply calling :meth:`RecoveryManager.run` again from scratch, and the
+rerun converges to the same verified state.  Recovery's own I/O is
+hardened like the forward paths: reads and re-apply writes retry
+transient faults, and a checkpoint whose payload fails its content
+checksum is rejected in favour of the previous intact one (or the log
+start).  The escalation beyond retries — quarantine, media restore,
+degraded mode — lives in :mod:`repro.kernel.supervisor`.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import UnknownFunctionError
+from repro.common.retry import retry_transient
 from repro.common.identifiers import NULL_SI, ObjectId, StateId
 from repro.core.functions import FunctionRegistry
 from repro.core.operation import Operation, execute_transform
@@ -61,6 +74,9 @@ class RecoveryReport:
     ops_skipped_unexposed: int = 0
     ops_voided: int = 0
     flush_txns_reapplied: int = 0
+    #: Checkpoints whose dirty-object table failed its content checksum
+    #: and were skipped in favour of an earlier one (or the log start).
+    checkpoints_rejected: int = 0
 
     def skipped(self) -> int:
         """All operations bypassed without re-execution."""
@@ -160,7 +176,14 @@ class RecoveryManager:
         checkpoint: Optional[CheckpointRecord] = None
         for record in self.log.stable_records():
             if isinstance(record, CheckpointRecord):
-                checkpoint = record
+                if record.is_intact():
+                    checkpoint = record
+                else:
+                    # Damaged dirty-object table: trusting it could skip
+                    # redo work.  Fall back to the previous intact
+                    # checkpoint (or, if none, the log start) — strictly
+                    # more conservative, never less correct.
+                    report.checkpoints_rejected += 1
         if checkpoint is not None:
             dirty = DirtyObjectTable(checkpoint.dirty_objects)
             report.checkpoint_lsi = checkpoint.lsi
@@ -220,7 +243,13 @@ class RecoveryManager:
         """
         for obj, (value, vsi) in values.versions.items():
             if self.store.vsi_of(obj) < vsi:
-                self.store.write(obj, value, vsi)
+                retry_transient(
+                    lambda obj=obj, value=value, vsi=vsi: self.store.write(
+                        obj, value, vsi
+                    ),
+                    stats=self.stats,
+                    what="flush-txn re-apply",
+                )
 
     # ------------------------------------------------------------------
     # redo pass
@@ -258,7 +287,11 @@ class RecoveryManager:
             if obj in volatile:
                 return volatile[obj][0]
             if self.store.contains(obj):
-                return self.store.read(obj).value
+                return retry_transient(
+                    lambda obj=obj: self.store.read(obj),
+                    stats=self.stats,
+                    what="redo-pass read",
+                ).value
             return None
 
         for record in self.log.stable_records(from_lsi=start):

@@ -27,15 +27,13 @@ live W-mode engine is
 which maintains the same graph one operation at a time.  BatchWriteGraph
 remains the obviously-Figure-3 reference that the W-mode differential
 tests rebuild against, and the per-purge-rebuild baseline the E10
-W-mode lane measures its speedup over.  The old :class:`WriteGraph`
-name survives as a deprecated shim that feeds the installation graph's
-operations through the incremental engine.
+W-mode lane measures its speedup over.  (The old ``WriteGraph`` name
+was a deprecated shim for one release and has been removed.)
 """
 
 from __future__ import annotations
 
 import itertools
-import warnings
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.common.identifiers import ObjectId
@@ -248,43 +246,3 @@ class BatchWriteGraph:
 
     def __len__(self) -> int:
         return len(self.nodes)
-
-
-class WriteGraph:
-    """Deprecated: the pre-protocol name for a W graph built from an
-    installation graph.
-
-    Use :func:`repro.core.engine.make_engine`\\ (``GraphMode.W``) for a
-    live engine, or :class:`BatchWriteGraph` for the verbatim Figure 3
-    batch construction.  This shim feeds the installation graph's
-    operations through an
-    :class:`~repro.core.incremental_write_graph.IncrementalWriteGraph`
-    (the two produce identical graphs — the W-mode differential suite
-    holds them to node/edge/flush-set equality) and delegates every
-    query to it; nodes are therefore the engine's ``RWNode`` objects,
-    not :class:`WriteGraphNode`.
-    """
-
-    def __init__(self, installation: InstallationGraph) -> None:
-        warnings.warn(
-            "WriteGraph(installation) is deprecated: use "
-            "make_engine(GraphMode.W) for the live incremental engine, "
-            "or BatchWriteGraph for the Figure 3 batch construction",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        # Imported here: the engine module imports nothing from this
-        # one, but keeping the shim's dependency local makes the batch
-        # class importable even mid-refactor.
-        from repro.core.incremental_write_graph import IncrementalWriteGraph
-
-        self.installation = installation
-        self._engine = IncrementalWriteGraph()
-        for op in installation.ops:
-            self._engine.add_operation(op)
-
-    def __getattr__(self, name: str):
-        return getattr(self._engine, name)
-
-    def __len__(self) -> int:
-        return len(self._engine)

@@ -3,14 +3,22 @@
 :class:`~repro.kernel.system.RecoverableSystem` is the public facade: it
 wires the stable store, the WAL, the cache manager and the recovery
 manager into one object that domains and experiments drive.  The kernel
-also provides crash injection (:mod:`~repro.kernel.crash`) and the
-oracle-based recoverability verifier (:mod:`~repro.kernel.verify`).
+also provides crash injection (:mod:`~repro.kernel.crash`), the
+oracle-based recoverability verifier (:mod:`~repro.kernel.verify`), and
+the restartable recovery supervisor with its escalation ladder
+(:mod:`~repro.kernel.supervisor`).
 """
 
-from repro.kernel.system import RecoverableSystem, SystemConfig
+from repro.kernel.system import RecoverableSystem, SystemConfig, SystemHealth
 from repro.kernel.crash import CrashInjector, CrashNow
 from repro.kernel.verify import verify_recovered, VerificationError
 from repro.kernel.backup_manager import BackupManager
+from repro.kernel.supervisor import (
+    AttemptRecord,
+    FailureReport,
+    RecoverySupervisor,
+    SupervisorConfig,
+)
 from repro.kernel.torture import (
     TortureConfig,
     TortureHarness,
@@ -21,11 +29,16 @@ from repro.kernel.torture import (
 __all__ = [
     "RecoverableSystem",
     "SystemConfig",
+    "SystemHealth",
     "CrashInjector",
     "CrashNow",
     "verify_recovered",
     "VerificationError",
     "BackupManager",
+    "AttemptRecord",
+    "FailureReport",
+    "RecoverySupervisor",
+    "SupervisorConfig",
     "TortureConfig",
     "TortureHarness",
     "TortureOutcome",

@@ -12,6 +12,13 @@ function registry, and exposes the lifecycle the paper describes:
   post-recovery flushing obeys the same write-graph rules as normal
   execution (Section 5's closing point).
 
+A :class:`SystemHealth` state machine tracks the escalation ladder
+(HEALTHY / RECOVERING / DEGRADED / FAILED): :meth:`crash` enters
+RECOVERING, a converged :meth:`recover` returns to HEALTHY, and the
+recovery supervisor (:mod:`repro.kernel.supervisor`) may instead land
+the system in degraded read-only mode or declare it failed when its
+escalation budgets run out.
+
 The system also maintains the submitted history so verifiers can
 compare recovered state with the oracle over the *stable* history (the
 operations whose records survived on the stable log — operations whose
@@ -21,12 +28,13 @@ durably speaking).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.cache.cache_manager import CacheManager
 from repro.cache.config import CacheConfig
-from repro.common.errors import SimulatedCrash
+from repro.common.errors import DegradedModeError, SimulatedCrash
 from repro.common.identifiers import NULL_SI, ObjectId, StateId
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.history import History
@@ -38,6 +46,28 @@ from repro.storage.backup import FuzzyBackup
 from repro.storage.stable_store import StableStore
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
+
+
+class SystemHealth(enum.Enum):
+    """The system's position on the escalation ladder.
+
+    * ``HEALTHY`` — normal operation; all reads and writes allowed.
+    * ``RECOVERING`` — crashed, recovery not (successfully) finished;
+      reads and writes raise until :meth:`RecoverableSystem.recover`
+      converges (the supervisor drives retries here).
+    * ``DEGRADED`` — recovery converged for every recoverable object
+      but some objects were *lost* (quarantined with neither a backup
+      version nor a log-reachable derivation).  Reads of surviving
+      objects succeed; reads of lost objects and **all** writes raise
+      :class:`~repro.common.errors.DegradedModeError`.
+    * ``FAILED`` — the supervisor exhausted its budgets without
+      converging; nothing is trustworthy and every access raises.
+    """
+
+    HEALTHY = "healthy"
+    RECOVERING = "recovering"
+    DEGRADED = "degraded"
+    FAILED = "failed"
 
 
 @dataclass
@@ -101,8 +131,22 @@ class RecoverableSystem:
         self._crashed = False
         self._lost_lsis: set = set()
         self.last_report: Optional[RecoveryReport] = None
+        #: The supervisor's structured verdict from the most recent
+        #: supervised recovery (set by callers that drive one, e.g.
+        #: ``PersistentSystem.open(supervisor_config=...)``).
+        self.last_failure_report = None
         self._tracer = None
         self._checkpoint_marker = 0
+        #: Escalation-ladder position (see :class:`SystemHealth`).
+        self.health = SystemHealth.HEALTHY
+        #: Objects declared lost by the supervisor when entering
+        #: DEGRADED; reads of these raise until an operator intervenes.
+        self.lost_objects: Set[ObjectId] = set()
+        #: Objects quarantined by the most recent recover() attempt,
+        #: mapped to the vSI their (damaged) stored version claimed —
+        #: the supervisor compares post-recovery vSIs against these to
+        #: classify each quarantined object as restored or lost.
+        self.last_quarantined: Dict[ObjectId, StateId] = {}
 
     def attach_tracer(self, tracer=None):
         """Attach (or create) an event tracer; survives crash/recover.
@@ -125,6 +169,14 @@ class RecoverableSystem:
         """Submit one operation in conflict order."""
         if self._crashed:
             raise RuntimeError("system is crashed; call recover() first")
+        if self.health is SystemHealth.DEGRADED:
+            raise DegradedModeError(
+                f"system is degraded (lost objects: "
+                f"{sorted(map(str, self.lost_objects))}); writes are "
+                f"disabled until the lost objects are restored"
+            )
+        if self.health is SystemHealth.FAILED:
+            raise RuntimeError("system is FAILED; recovery did not converge")
         # Execute first: a failing operation must leave neither a log
         # record nor a history entry.
         try:
@@ -153,9 +205,22 @@ class RecoverableSystem:
             self._checkpoint_marker = self.stats.log_bytes
 
     def read(self, obj: ObjectId) -> Any:
-        """Read the current value of ``obj`` (through the cache)."""
+        """Read the current value of ``obj`` (through the cache).
+
+        In DEGRADED health, reads of surviving objects still succeed —
+        that is the point of degraded read-only mode — while reads of
+        the lost objects raise, loudly, instead of returning a silently
+        wrong ``None``.
+        """
         if self._crashed:
             raise RuntimeError("system is crashed; call recover() first")
+        if self.health is SystemHealth.FAILED:
+            raise RuntimeError("system is FAILED; recovery did not converge")
+        if self.health is SystemHealth.DEGRADED and obj in self.lost_objects:
+            raise DegradedModeError(
+                f"{obj!r} was lost (no backup version, no log-reachable "
+                f"derivation); its value is unavailable in degraded mode"
+            )
         return self.cache.read_object(obj)
 
     def peek(self, obj: ObjectId) -> Any:
@@ -203,6 +268,7 @@ class RecoverableSystem:
         )
         self.cache.tracer = self._tracer
         self._crashed = True
+        self.health = SystemHealth.RECOVERING
         return lost
 
     def recover(
@@ -225,10 +291,30 @@ class RecoverableSystem:
         scan widens to the backup window (or the retained log's start)
         so repeat-history repairs the quarantined objects while the vSI
         test bypasses the intact ones.
+
+        The widened window is recorded on the stable store
+        (``media_redo_pending``) until a recovery completes: a restored
+        version is *old*, so if the widened redo is itself interrupted
+        by a crash, the restarted recovery re-widens rather than
+        narrowly replaying over the stale version.
         """
+        self.health = SystemHealth.RECOVERING
+        self.last_quarantined = {}
+        # A prior attempt's media restore that never finished its
+        # widened redo: the restored versions are still old, so this
+        # attempt must widen too (restartability across the restore).
+        pending = getattr(self.store, "media_redo_pending", None)
+        if pending is not None:
+            media_redo_start = (
+                pending
+                if media_redo_start is None
+                else min(media_redo_start, pending)
+            )
         media_redo_start = self._quarantine_scrub(
             media_redo_start, quarantine_backup
         )
+        if media_redo_start is not None:
+            self.store.media_redo_pending = media_redo_start
         manager = RecoveryManager(
             self.log,
             self.store,
@@ -263,6 +349,9 @@ class RecoverableSystem:
         self.cache.adopt_recovery(outcome.volatile, outcome.redone_ops)
         self.cache.tracer = self._tracer
         self._crashed = False
+        self.health = SystemHealth.HEALTHY
+        self.lost_objects = set()
+        self.store.media_redo_pending = None
         self.last_report = outcome.report
         return outcome.report
 
@@ -281,6 +370,11 @@ class RecoverableSystem:
         if not corrupt:
             return media_redo_start
         for obj in corrupt:
+            # Record the vSI the damaged version claimed: damage keeps
+            # the intended vSI, so "did something at least this recent
+            # come back?" is exactly the restored-vs-lost question the
+            # supervisor asks after redo.
+            self.last_quarantined[obj] = self.store.vsi_of(obj)
             self.store.quarantine(obj)
             self.stats.quarantines += 1
             if backup is not None:
@@ -297,6 +391,25 @@ class RecoverableSystem:
         if media_redo_start is None:
             return fallback
         return min(media_redo_start, fallback)
+
+    # ------------------------------------------------------------------
+    # escalation ladder (driven by the recovery supervisor)
+    # ------------------------------------------------------------------
+    def enter_degraded(self, lost: Iterable[ObjectId]) -> None:
+        """Enter degraded read-only mode, naming the lost objects.
+
+        Recovery converged for everything it could redo, but the listed
+        objects are gone (quarantined with no backup version and no
+        log-reachable derivation).  Surviving objects stay readable;
+        writes — which would let new state depend on the holes — raise
+        :class:`~repro.common.errors.DegradedModeError`.
+        """
+        self.lost_objects = set(lost)
+        self.health = SystemHealth.DEGRADED
+
+    def mark_failed(self) -> None:
+        """Declare recovery non-convergent: every access now raises."""
+        self.health = SystemHealth.FAILED
 
     # ------------------------------------------------------------------
     # verification support

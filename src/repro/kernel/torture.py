@@ -25,6 +25,18 @@ explainable, Theorem 3's consequence).
 Interleaved forces and purges are driven by a dedicated rng seeded only
 by the workload seed, so the I/O point numbering of a faulted run lines
 up exactly with its counting run.
+
+**Torture v2** extends the campaign to recovery's own I/O (the paper's
+Theorem 2 idempotence, adversarially): :meth:`~TortureHarness.
+recovery_points` numbers the ``"recovery"``-phase fault points with a
+counting run, :meth:`~TortureHarness.sweep_recovery` injects every
+must-survive kind at every one of them (including pure ``CRASH`` points
+and nested-crash schedules that kill a recovery that is itself a
+restart), and :meth:`~TortureHarness.fuzz_recovery` draws faults across
+*both* phases.  Recovery in v2 is driven by the
+:class:`~repro.kernel.supervisor.RecoverySupervisor` — the assertion is
+that the escalation ladder converges to the verified state
+(``SystemHealth.HEALTHY``) no matter where recovery itself is killed.
 """
 
 from __future__ import annotations
@@ -41,9 +53,19 @@ from repro.common.errors import (
 from repro.common.rng import make_rng
 from repro.core.invariants import check_explainable, stable_values_of
 from repro.kernel.backup_manager import BackupManager
-from repro.kernel.system import RecoverableSystem, SystemConfig
+from repro.kernel.supervisor import (
+    FailureReport,
+    RecoverySupervisor,
+    SupervisorConfig,
+)
+from repro.kernel.system import (
+    RecoverableSystem,
+    SystemConfig,
+    SystemHealth,
+)
 from repro.kernel.verify import verify_recovered
 from repro.storage.faults import (
+    RECOVERY_PHASE,
     FaultKind,
     FaultModel,
     FaultSpec,
@@ -62,6 +84,16 @@ from repro.workloads import (
 #: any WAL system's durability contract (see the strawman test).
 SWEEP_KINDS = (FaultKind.TORN, FaultKind.TRANSIENT, FaultKind.CORRUPT)
 
+#: The kinds the recovery-phase sweep (Torture v2) injects at every
+#: recovery I/O point.  CRASH joins the list because "the machine dies
+#: at recovery's k-th I/O" is exactly the restartability claim.
+RECOVERY_SWEEP_KINDS = (
+    FaultKind.CRASH,
+    FaultKind.TORN,
+    FaultKind.TRANSIENT,
+    FaultKind.CORRUPT,
+)
+
 #: IOStats fields the report aggregates across runs.
 _COUNTERS = (
     "faults_injected",
@@ -69,6 +101,8 @@ _COUNTERS = (
     "checksum_failures",
     "quarantines",
     "media_recoveries",
+    "recovery_attempts",
+    "recovery_restarts",
 )
 
 
@@ -87,6 +121,10 @@ class TortureConfig:
     workload_seed: int = 0
     #: Fresh cache config per run (configs hold stateful mechanisms).
     cache_factory: Callable[[], CacheConfig] = CacheConfig
+    #: Torture v2: the supervisor's attempt budget per run.  Generous by
+    #: default — nested-crash schedules legitimately burn several
+    #: attempts before the last scheduled crash point is consumed.
+    supervisor_attempts: int = 24
 
 
 @dataclass
@@ -100,6 +138,11 @@ class TortureOutcome:
     trace: List[str] = field(default_factory=list)
     #: Fuzz runs: the seed that reproduces this schedule.
     seed: Optional[int] = None
+    #: Torture v2: recovery attempts the supervisor used.
+    attempts: int = 0
+    #: Torture v2: the supervisor's structured report when the run
+    #: failed (None for passing runs, to keep reports lean).
+    failure_report: Optional[FailureReport] = None
 
 
 @dataclass
@@ -266,6 +309,160 @@ class TortureHarness:
             run_seed = seed + index
             model = FaultModel.fuzz(run_seed, rates)
             outcome = self._one_run(model, f"fuzz seed={run_seed}")
+            outcome.seed = run_seed
+            report.outcomes.append(outcome)
+        report.totals = dict(self._totals)
+        return report
+
+    # ------------------------------------------------------------------
+    # Torture v2: faults during recovery itself
+    # ------------------------------------------------------------------
+    def recovery_points(self) -> int:
+        """Number recovery's own I/O points with a counting run.
+
+        The workload runs clean, the machine crashes, and a single
+        clean recovery is performed with the model switched to the
+        ``"recovery"`` phase — its reads and re-apply writes consume
+        recovery-phase points without injecting anything.
+        """
+        model = FaultModel()
+        system = self._build_system(model)
+        backup = BackupManager(system).take_backup()
+        self._drive(system)
+        system.crash()
+        model.enter_phase(RECOVERY_PHASE)
+        system.recover(quarantine_backup=backup)
+        return model.points_in(RECOVERY_PHASE)
+
+    def _one_recovery_run(
+        self, model: FaultModel, description: str
+    ) -> TortureOutcome:
+        """Drive the workload, crash, then recover under supervision.
+
+        Unlike :meth:`_one_run`, the model stays **armed** through
+        recovery: the supervisor must climb the escalation ladder to
+        convergence.  The run passes when the ladder lands in
+        ``HEALTHY`` and both oracles agree — including after nested
+        mid-recovery crashes (recovery-phase numbering is continuous
+        across restarts, so one schedule can kill several successive
+        attempts).
+        """
+        system = self._build_system(model)
+        backup = BackupManager(system).take_backup()
+        self._drive(system)
+        system.crash()
+        model.enter_phase(RECOVERY_PHASE)
+        supervisor = RecoverySupervisor(
+            system,
+            backup=backup,
+            config=SupervisorConfig(
+                max_attempts=self.config.supervisor_attempts
+            ),
+        )
+        report = supervisor.run()
+        model.armed = False
+        outcome = TortureOutcome(
+            description,
+            True,
+            trace=model.trace(),
+            attempts=report.attempts_used,
+        )
+        try:
+            if report.final_health is not SystemHealth.HEALTHY:
+                raise AssertionError(
+                    f"escalation ladder did not converge: {report.summary()}"
+                )
+            verify_recovered(system)
+            check_explainable(
+                system.history,
+                set(system.cache.uninstalled_operations()),
+                stable_values_of(system.store),
+                system.oracle(),
+            )
+        except Exception as exc:  # noqa: BLE001 - verdict, not control flow
+            outcome.ok = False
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.failure_report = report
+        self._accumulate(system)
+        return outcome
+
+    def sweep_recovery(self) -> TortureReport:
+        """Every recovery-phase I/O point × every v2 fault kind.
+
+        CRASH is the restartability probe (the machine dies cleanly at
+        that recovery I/O); TORN pairs damage with an immediate crash;
+        CORRUPT is silent (caught by the supervisor's post-convergence
+        scrub when recovery itself wrote the garbage); TRANSIENT must be
+        absorbed invisibly by recovery's retry-hardened I/O.  A handful
+        of **nested** schedules then place three crash points so the
+        second and third kill recoveries that are themselves restarts.
+        """
+        self._totals = {}
+        points = self.recovery_points()
+        report = TortureReport(mode="sweep-recovery", points=points)
+        for point in range(points):
+            for kind in RECOVERY_SWEEP_KINDS:
+                if kind is FaultKind.TRANSIENT:
+                    spec = FaultSpec(
+                        point, kind, times=2, phase=RECOVERY_PHASE
+                    )
+                elif kind is FaultKind.TORN:
+                    spec = FaultSpec(
+                        point, kind, crash=True, phase=RECOVERY_PHASE
+                    )
+                else:
+                    spec = FaultSpec(point, kind, phase=RECOVERY_PHASE)
+                report.outcomes.append(
+                    self._one_recovery_run(
+                        FaultModel([spec]), spec.describe()
+                    )
+                )
+        stride = max(1, points // 2)
+        for start in range(min(points, 3)):
+            specs = [
+                FaultSpec(
+                    start + i * stride,
+                    FaultKind.CRASH,
+                    phase=RECOVERY_PHASE,
+                )
+                for i in range(3)
+            ]
+            description = "nested:" + "+".join(
+                spec.describe() for spec in specs
+            )
+            report.outcomes.append(
+                self._one_recovery_run(FaultModel(specs), description)
+            )
+        report.totals = dict(self._totals)
+        return report
+
+    def fuzz_recovery(
+        self,
+        runs: int,
+        seed: int = 0,
+        rates: Optional[FuzzRates] = None,
+    ) -> TortureReport:
+        """Seeded fault schedules spanning *both* phases.
+
+        The model stays armed from the first workload I/O through the
+        last supervised recovery attempt, so one schedule can corrupt
+        the forward run, crash the first recovery, and tear a re-apply
+        write of the second.  Default rates keep per-attempt kill
+        probability low enough that the default attempt budget's
+        failure odds are negligible (~1e-7 per run).
+        """
+        self._totals = {}
+        report = TortureReport(
+            mode="fuzz-recovery", points=self.recovery_points()
+        )
+        if rates is None:
+            rates = FuzzRates(torn=0.005, corrupt=0.005, crash=0.01)
+        for index in range(runs):
+            run_seed = seed + index
+            model = FaultModel.fuzz(run_seed, rates)
+            outcome = self._one_recovery_run(
+                model, f"fuzz-recovery seed={run_seed}"
+            )
             outcome.seed = run_seed
             report.outcomes.append(outcome)
         report.totals = dict(self._totals)

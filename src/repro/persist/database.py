@@ -23,6 +23,14 @@ registering callables via ``domains=`` so they run first::
         domains=[register_filesystem_functions],
     )
 
+Passing ``supervisor_config=`` routes the open-time recovery through
+the :class:`~repro.kernel.supervisor.RecoverySupervisor` instead of a
+single bare ``recover()`` call: recovery that crashes or trips faults
+mid-pass is restarted, retried, and — when damage is unrecoverable —
+the system comes up in DEGRADED read-only mode rather than not at all.
+The supervisor's :class:`FailureReport` for the open is retained on
+``system.last_failure_report``.
+
 Note on verification: after a cold open the in-process history is
 rebuilt from the stable log, so the oracle-based ``verify_recovered``
 is only meaningful if the log was never truncated; tests assert
@@ -35,6 +43,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.recovery import RecoveryReport
+from repro.kernel.supervisor import RecoverySupervisor, SupervisorConfig
 from repro.kernel.system import RecoverableSystem, SystemConfig
 from repro.persist.file_log import FileLogManager
 from repro.persist.file_store import FileStableStore
@@ -49,6 +58,7 @@ class PersistentSystem:
         config: Optional[SystemConfig] = None,
         registry: Optional[FunctionRegistry] = None,
         domains: Iterable[Callable[[FunctionRegistry], None]] = (),
+        supervisor_config: Optional[SupervisorConfig] = None,
     ) -> RecoverableSystem:
         """Open (creating if needed) the database directory ``path``.
 
@@ -56,7 +66,11 @@ class PersistentSystem:
         and returns the recovered system.  ``domains`` are
         function-registration callables (e.g.
         ``register_filesystem_functions``) invoked on the registry
-        before replay.
+        before replay.  With ``supervisor_config`` the open-time
+        recovery runs under the escalation-ladder supervisor: the
+        system comes back HEALTHY when recovery converges, or DEGRADED
+        (read-only over the surviving objects) when it cannot, with
+        the structured verdict on ``system.last_failure_report``.
         """
         registry = registry if registry is not None else default_registry()
         for register in domains:
@@ -66,7 +80,10 @@ class PersistentSystem:
         system = RecoverableSystem(
             config=config, registry=registry, store=store, log=log
         )
-        system.recover()
+        if supervisor_config is not None:
+            RecoverySupervisor(system, config=supervisor_config).run()
+        else:
+            system.recover()
         return system
 
     @staticmethod

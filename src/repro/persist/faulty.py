@@ -17,9 +17,13 @@ version, exactly like a real page cache over a failing device: the
 damage is invisible until something re-reads the platter, which is what
 :meth:`FileStableStore.scrub` and the WAL's open-time tail check do.
 
-The model should be disarmed (``model.armed = False``) around recovery
-and verification — the torture harness does — so restore paths are
-never themselves faulted.
+Faulting *recovery itself* is supported the same way as in the
+in-memory layer: switch the model's phase
+(``model.enter_phase(RECOVERY_PHASE)``) before recovering and drive it
+through a :class:`~repro.kernel.supervisor.RecoverySupervisor`, which
+restarts crashed attempts and escalates persistent damage.  Disarm the
+model (``model.armed = False``) only around final verification — the
+torture harness does — so the verdict itself is never faulted.
 """
 
 from __future__ import annotations

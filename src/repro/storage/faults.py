@@ -13,6 +13,14 @@ correct in exactly that regime.  This module provides the adversary:
 * a :class:`FaultModel` decides, from an explicit schedule (sweep mode)
   or a seeded per-point draw (fuzz mode), whether that point faults and
   how;
+* points are numbered within a **phase family**: the workload's own I/O
+  is the ``"forward"`` phase, and the I/O recovery performs (redo-pass
+  reads, flush-transaction re-applies) is the ``"recovery"`` phase —
+  :meth:`FaultModel.enter_phase` switches families, so a schedule can
+  target "the k-th I/O *of recovery itself*" independently of how the
+  forward run died.  Recovery-phase numbering is continuous across
+  restarted recovery attempts: a spec at recovery point *k* fires in
+  whichever attempt reaches it, exactly once;
 * :class:`FaultyStore` wraps the in-memory stable store with the model,
   damaging stored versions for torn/corrupt faults and verifying a
   per-object CRC32 on every read so the damage is *detected*, never
@@ -33,6 +41,9 @@ FSYNC_LIE      the force reports success but the records are not
                durable — a subsequent crash loses them.
 SLOW           the I/O succeeds after a modelled delay (counted, not
                slept).
+CRASH          the machine dies at the I/O point, cleanly: no damage
+               lands, :class:`FaultCrash` is raised.  The kind that
+               lets a schedule say "crash recovery at its 3rd read".
 =============  =====================================================
 
 Determinism is the point: a schedule is fully described by either its
@@ -46,7 +57,16 @@ import enum
 import pickle
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.common.errors import (
     CorruptObjectError,
@@ -72,10 +92,16 @@ class FaultKind(enum.Enum):
     FSYNC_FAIL = "fsync-fail"
     FSYNC_LIE = "fsync-lie"
     SLOW = "slow"
+    CRASH = "crash"
 
 
 #: Kinds that raise a retryable error instead of damaging state.
 _TRANSIENT_KINDS = frozenset({FaultKind.TRANSIENT, FaultKind.FSYNC_FAIL})
+
+
+#: The phase family a spec (or a model) numbers its points in.
+FORWARD_PHASE = "forward"
+RECOVERY_PHASE = "recovery"
 
 
 @dataclass(frozen=True)
@@ -90,12 +116,18 @@ class FaultSpec:
     #: Raise :class:`FaultCrash` right after the damage lands — the most
     #: adversarial moment to lose the machine.
     crash: bool = False
+    #: Which point family the spec's ``point`` counts in: ``"forward"``
+    #: (the workload's own I/O, the default) or ``"recovery"`` (the I/O
+    #: performed by recovery itself).
+    phase: str = FORWARD_PHASE
 
     def describe(self) -> str:
-        """Compact schedule notation, e.g. ``torn@17!`` (``!`` = crash)."""
+        """Compact schedule notation, e.g. ``torn@17!`` (``!`` = crash);
+        recovery-phase specs carry an ``r`` prefix (``crash@r3``)."""
         tail = f"x{self.times}" if self.times != 1 else ""
         bang = "!" if self.crash else ""
-        return f"{self.kind.value}@{self.point}{tail}{bang}"
+        prefix = "r" if self.phase == RECOVERY_PHASE else ""
+        return f"{self.kind.value}@{prefix}{self.point}{tail}{bang}"
 
 
 @dataclass
@@ -106,6 +138,10 @@ class FuzzRates:
     torn: float = 0.01
     corrupt: float = 0.01
     fsync_lie: float = 0.0
+    #: Probability of a clean process crash at the point (no damage).
+    #: Zero by default so forward-only campaigns are unchanged; the
+    #: recovery-resilience campaigns raise it to crash mid-recovery.
+    crash: float = 0.0
     #: Probability that a damaging (torn/corrupt) fault also crashes.
     crash_given_fault: float = 0.5
     #: Max consecutive failures for one transient fault (kept under the
@@ -138,22 +174,47 @@ class FaultModel:
         *,
         armed: bool = True,
     ) -> None:
-        self._specs: Dict[int, FaultSpec] = {}
+        self._specs: Dict[Tuple[str, int], FaultSpec] = {}
         for spec in specs:
-            if spec.point in self._specs:
-                raise ValueError(f"duplicate fault point {spec.point}")
-            self._specs[spec.point] = spec
+            key = (spec.phase, spec.point)
+            if key in self._specs:
+                raise ValueError(
+                    f"duplicate fault point {spec.point} in phase "
+                    f"{spec.phase!r}"
+                )
+            self._specs[key] = spec
         self._rng = None
         self._rates: Optional[FuzzRates] = None
         self.armed = armed
-        #: Next I/O point number to be consumed.
-        self.next_point = 0
+        #: Current phase family; fire() numbers points within it.
+        self.phase = FORWARD_PHASE
+        #: Per-phase next point number to be consumed.
+        self._next_points: Dict[str, int] = {}
         #: Remaining consecutive failures of an in-flight transient
         #: fault; retries of the same I/O do not consume new points.
         self._transient_remaining = 0
         #: Every fault actually applied, in order — the run's fault
         #: trace, used for reproducibility checks and failure reports.
         self.fired: List[FaultSpec] = []
+
+    @property
+    def next_point(self) -> int:
+        """Next point number to be consumed in the *current* phase."""
+        return self._next_points.get(self.phase, 0)
+
+    def points_in(self, phase: str) -> int:
+        """Points consumed so far in ``phase`` (its next point number)."""
+        return self._next_points.get(phase, 0)
+
+    def enter_phase(self, phase: str) -> None:
+        """Switch the point family subsequent fires are numbered in.
+
+        The family's counter is *not* reset: re-entering a phase resumes
+        its numbering, which is what makes nested-recovery schedules
+        well defined (a restarted recovery continues the recovery-phase
+        numbering rather than re-firing already-consumed specs).
+        """
+        self.phase = phase
 
     @classmethod
     def fuzz(cls, seed: int, rates: Optional[FuzzRates] = None) -> "FaultModel":
@@ -198,11 +259,20 @@ class FaultModel:
             raise TransientStorageError(
                 f"injected transient fault (retry) at {site} {detail}"
             )
-        point = self.next_point
-        self.next_point += 1
+        point = self._next_points.get(self.phase, 0)
+        self._next_points[self.phase] = point + 1
         spec = self._decide(point, site)
         if spec is None:
             return None
+        if spec.kind is FaultKind.CRASH:
+            # A clean machine death at this I/O point: nothing lands,
+            # nothing is damaged — the process is simply gone.
+            self.fired.append(spec)
+            if stats is not None:
+                stats.faults_injected += 1
+            raise FaultCrash(
+                f"injected {spec.describe()} at {site} {detail}"
+            )
         if spec.kind in _TRANSIENT_KINDS:
             self._transient_remaining = spec.times - 1
             self.fired.append(spec)
@@ -230,7 +300,7 @@ class FaultModel:
     def _decide(self, point: int, site: str) -> Optional[FaultSpec]:
         if self._rates is not None:
             return self._draw(point)
-        return self._specs.get(point)
+        return self._specs.get((self.phase, point))
 
     def _draw(self, point: int) -> Optional[FaultSpec]:
         rates = self._rates
@@ -242,18 +312,26 @@ class FaultModel:
                 point,
                 FaultKind.TRANSIENT,
                 times=rng.randint(1, max(1, rates.max_times)),
+                phase=self.phase,
             )
         edge += rates.torn
         if roll < edge:
             crash = rng.random() < rates.crash_given_fault
-            return FaultSpec(point, FaultKind.TORN, crash=crash)
+            return FaultSpec(
+                point, FaultKind.TORN, crash=crash, phase=self.phase
+            )
         edge += rates.corrupt
         if roll < edge:
             crash = rng.random() < rates.crash_given_fault
-            return FaultSpec(point, FaultKind.CORRUPT, crash=crash)
+            return FaultSpec(
+                point, FaultKind.CORRUPT, crash=crash, phase=self.phase
+            )
         edge += rates.fsync_lie
         if roll < edge:
-            return FaultSpec(point, FaultKind.FSYNC_LIE)
+            return FaultSpec(point, FaultKind.FSYNC_LIE, phase=self.phase)
+        edge += rates.crash
+        if roll < edge:
+            return FaultSpec(point, FaultKind.CRASH, phase=self.phase)
         return None
 
     # ------------------------------------------------------------------

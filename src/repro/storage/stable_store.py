@@ -51,6 +51,15 @@ class StableStore:
         #: multi-object write; a crash-injection harness raises from
         #: here to tear the flush.
         self.mid_write_hook: Optional[Callable[[ObjectId], None]] = None
+        #: Restore-pending marker: the redo-scan start a media restore
+        #: committed to, kept on the *stable* side so it survives the
+        #: crash of the recovery that performed the restore.  A
+        #: backup-restored version is old; until one recovery completes
+        #: its widened redo over it, every recovery attempt must widen
+        #: again — otherwise a narrow restart would read the stale
+        #: version and derive garbage.  Set by the quarantine scrub,
+        #: cleared when recovery adopts its outcome.
+        self.media_redo_pending: Optional[StateId] = None
 
     # ------------------------------------------------------------------
     # reads

@@ -69,6 +69,13 @@ class IOStats:
     media_recoveries:
         Recovery runs that fell back to media-style replay because of
         quarantined versions.
+    recovery_attempts:
+        Recovery attempts started by the recovery supervisor (one per
+        ``recover()`` call it drives, converged or not).
+    recovery_restarts:
+        Recovery attempts that died mid-run (a crash fault inside
+        recovery's own I/O) and were restarted from scratch by the
+        supervisor.
     """
 
     object_writes: int = 0
@@ -93,6 +100,8 @@ class IOStats:
     checksum_failures: int = 0
     quarantines: int = 0
     media_recoveries: int = 0
+    recovery_attempts: int = 0
+    recovery_restarts: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, int]:

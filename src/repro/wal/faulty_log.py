@@ -22,8 +22,9 @@ log's device touchpoint — and reproduces the WAL failure modes:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
+from repro.common.identifiers import NULL_SI, StateId
 from repro.storage.faults import FaultCrash, FaultKind, FaultModel
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
@@ -66,6 +67,24 @@ class FaultyLog(LogManager):
             raise FaultCrash(f"log force torn at {spec.describe()}")
         # FSYNC_LIE: everything "succeeds" but durability is a lie.
         super()._write_stable(pending)
+
+    def stable_records(
+        self, from_lsi: StateId = NULL_SI
+    ) -> Iterator[LogRecord]:
+        """A stable-log scan is a device read: one faultable I/O point.
+
+        Scans only happen during recovery (analysis and redo passes),
+        so this is the log-side recovery-phase fault surface: a
+        transient scan failure or a crash mid-scan kills the recovery
+        attempt and the supervisor must restart it.  One point per scan
+        call, not per record — the unit of device I/O is the sequential
+        read, and per-record points would explode the sweep space
+        without adding distinct failure shapes.
+        """
+        self.model.fire(
+            "log.scan", f"from {from_lsi}", stats=self.stats
+        )
+        return super().stable_records(from_lsi)
 
     def truncate_before(self, lsi, redo_start) -> int:
         dropped = super().truncate_before(lsi, redo_start)

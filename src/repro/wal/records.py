@@ -20,6 +20,8 @@ atomic-flush mechanism.
 
 from __future__ import annotations
 
+import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -95,13 +97,45 @@ class FlushRecord(LogRecord):
 
 @dataclass
 class CheckpointRecord(LogRecord):
-    """ARIES-style checkpoint: the dirty object table snapshot."""
+    """ARIES-style checkpoint: the dirty object table snapshot.
+
+    Carries a content checksum over its dirty-object table so the
+    analysis pass can reject a checkpoint whose payload was damaged
+    *after* framing (in-memory rot of a decoded record, a torn rewrite
+    in place) and fall back to an earlier intact checkpoint or the log
+    start.  The frame-level CRC of the file log only protects the
+    bytes-on-disk prefix; this is the record-level belt to that brace.
+    """
 
     dirty_objects: Dict[ObjectId, StateId]
+    #: CRC32 of the canonicalized dirty-object table; filled in on
+    #: construction.  ``None`` only for records unpickled from logs
+    #: written before checksums existed — treated as intact.
+    checksum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checksum is None:
+            self.checksum = self._content_checksum()
+
+    def _content_checksum(self) -> int:
+        table = sorted(self.dirty_objects.items())
+        return zlib.crc32(pickle.dumps(table))
+
+    def is_intact(self) -> bool:
+        """Whether the dirty-object table still matches its checksum."""
+        try:
+            claimed = getattr(self, "checksum", None)
+            if claimed is None:
+                return True
+            return self._content_checksum() == claimed
+        except Exception:
+            return False
 
     def record_size(self) -> int:
-        return RECORD_HEADER_SIZE + len(self.dirty_objects) * (
-            ID_SIZE + SCALAR_SIZE
+        return (
+            RECORD_HEADER_SIZE
+            + SCALAR_SIZE  # the checksum itself
+            + len(self.dirty_objects) * (ID_SIZE + SCALAR_SIZE)
         )
 
 

@@ -1,0 +1,134 @@
+"""Damaged-checkpoint handling (repro.wal.records, repro.core.recovery).
+
+A checkpoint summarizes the dirty-object table; trusting a damaged one
+would let the analysis pass *skip* redo work — silent data loss, the
+worst failure shape.  The record carries a content checksum (the
+record-level belt to the file log's frame-CRC brace), and analysis
+rejects any checkpoint that fails it, falling back to the previous
+intact checkpoint or the log start.  Companion of test_file_log_torn,
+which covers frame-level damage on disk.
+"""
+
+from __future__ import annotations
+
+from repro.common.identifiers import NULL_SI
+from repro.kernel.system import RecoverableSystem, SystemConfig
+from repro.kernel.verify import verify_recovered
+from repro.persist.file_log import FileLogManager
+from repro.wal.records import CheckpointRecord
+from repro.workloads import register_workload_functions
+from tests.conftest import physical
+
+
+def _checkpoints(log):
+    return [
+        record
+        for record in log.stable_records()
+        if isinstance(record, CheckpointRecord)
+    ]
+
+
+def _rot(record):
+    """In-place damage to a decoded checkpoint's dirty-object table,
+    leaving the checksum claiming the intended content."""
+    record.dirty_objects["phantom"] = 999
+
+
+def _workload(log=None, ops=6):
+    system = RecoverableSystem(SystemConfig(), log=log)
+    register_workload_functions(system.registry)
+    for index in range(ops):
+        system.execute(physical(f"x{index % 3}", b"v%d" % index))
+    return system
+
+
+class TestChecksumUnit:
+    def test_fresh_record_is_intact(self):
+        record = CheckpointRecord(dirty_objects={"a": 3, "b": 7})
+        assert record.checksum is not None
+        assert record.is_intact()
+
+    def test_any_table_mutation_is_detected(self):
+        record = CheckpointRecord(dirty_objects={"a": 3})
+        _rot(record)
+        assert not record.is_intact()
+        dropped = CheckpointRecord(dirty_objects={"a": 3, "b": 7})
+        del dropped.dirty_objects["b"]
+        assert not dropped.is_intact()
+
+    def test_pre_checksum_records_treated_as_intact(self):
+        """Records unpickled from logs written before checksums existed
+        carry ``checksum=None`` and must stay acceptable."""
+        record = CheckpointRecord(dirty_objects={"a": 3})
+        record.checksum = None
+        assert record.is_intact()
+
+    def test_checksum_survives_file_log_roundtrip(self, tmp_path):
+        root = str(tmp_path)
+        system = _workload(log=FileLogManager(root))
+        system.checkpoint()
+        reloaded = _checkpoints(FileLogManager(root))
+        assert reloaded and all(r.is_intact() for r in reloaded)
+
+
+class TestAnalysisFallback:
+    def test_damaged_checkpoint_falls_back_to_previous(self):
+        system = _workload()
+        system.checkpoint()
+        for index in range(4):
+            system.execute(physical(f"y{index}", b"w%d" % index))
+        system.checkpoint()
+        system.log.force()
+        checkpoints = _checkpoints(system.log)
+        assert len(checkpoints) == 2
+        _rot(checkpoints[1])
+        system.crash()
+        report = system.recover()
+        assert report.checkpoints_rejected == 1
+        # Analysis anchored on the earlier, intact checkpoint.
+        assert report.checkpoint_lsi == checkpoints[0].lsi
+        verify_recovered(system)
+
+    def test_damaged_sole_checkpoint_falls_back_to_log_start(self):
+        system = _workload()
+        system.checkpoint()
+        system.log.force()
+        (checkpoint,) = _checkpoints(system.log)
+        _rot(checkpoint)
+        system.crash()
+        report = system.recover()
+        assert report.checkpoints_rejected == 1
+        assert report.checkpoint_lsi == NULL_SI
+        verify_recovered(system)
+        for index in range(6):
+            assert system.peek(f"x{index % 3}") is not None
+
+    def test_intact_checkpoints_still_honored(self):
+        """The rejection path must not widen scans when nothing is
+        damaged: the newest checkpoint keeps anchoring analysis."""
+        system = _workload()
+        system.checkpoint()
+        system.log.force()
+        (checkpoint,) = _checkpoints(system.log)
+        system.crash()
+        report = system.recover()
+        assert report.checkpoints_rejected == 0
+        assert report.checkpoint_lsi == checkpoint.lsi
+        verify_recovered(system)
+
+    def test_recovery_is_restartable_past_a_rejected_checkpoint(self):
+        """Rejecting a checkpoint only widens the redo scan; a second
+        recovery over the same log converges identically (Theorem 2
+        idempotence extended to the fallback path)."""
+        system = _workload()
+        system.checkpoint()
+        system.log.force()
+        (checkpoint,) = _checkpoints(system.log)
+        _rot(checkpoint)
+        system.crash()
+        first = system.recover()
+        system.crash()
+        second = system.recover()
+        assert first.checkpoints_rejected == 1
+        assert second.checkpoints_rejected == 1
+        verify_recovered(system)

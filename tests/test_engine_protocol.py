@@ -1,4 +1,4 @@
-"""The WriteGraphEngine protocol, make_engine, and the deprecation shims.
+"""The WriteGraphEngine protocol, make_engine, and the engine lifecycle.
 
 Covers the API-surface guarantees of the engine redesign:
 
@@ -8,9 +8,9 @@ Covers the API-surface guarantees of the engine redesign:
 * the cache manager holds one live engine per mode and never rebuilds
   it — asserted through the ``stats()["full_rebuilds"]`` hook over a
   long mixed-workload run in both modes;
-* the deprecated names (``WriteGraph(installation)``,
-  ``CacheManager.write_graph()``) still work, delegate to the live
-  engines, and emit ``DeprecationWarning``.
+* the deprecated ``WriteGraph(installation)`` /
+  ``CacheManager.write_graph()`` shims are gone (they warned for one
+  release) and nothing in the library emits DeprecationWarning.
 """
 
 from __future__ import annotations
@@ -28,7 +28,6 @@ from repro import (
     RecoverableSystem,
     RefinedWriteGraph,
     SystemConfig,
-    WriteGraph,
     WriteGraphEngine,
     make_engine,
     verify_recovered,
@@ -158,33 +157,17 @@ class TestCacheManagerEngine:
         assert type(_w_system().engine) is IncrementalWriteGraph
 
 
-class TestDeprecatedNames:
-    def test_write_graph_method_warns_and_delegates(self):
+class TestDeprecatedNamesRemoved:
+    def test_write_graph_shim_is_gone(self):
+        """The deprecation window closed: the names no longer import."""
+        with pytest.raises(ImportError):
+            from repro import WriteGraph  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.core.write_graph import WriteGraph  # noqa: F401
+
+    def test_write_graph_method_is_gone(self):
         system = RecoverableSystem()
-        with pytest.warns(DeprecationWarning, match="engine property"):
-            graph = system.cache.write_graph()
-        assert graph is system.cache.engine
-
-    def test_write_graph_shim_warns(self):
-        installation = InstallationGraph(_ops(operations=30, seed=5))
-        with pytest.warns(DeprecationWarning, match="make_engine"):
-            WriteGraph(installation)
-
-    def test_write_graph_shim_matches_batch(self):
-        ops = _ops(operations=60, seed=17)
-        installation = InstallationGraph(ops)
-        with pytest.warns(DeprecationWarning):
-            shim = WriteGraph(installation)
-        batch = BatchWriteGraph(installation)
-        key = lambda n: frozenset(op.name for op in n.ops)
-        assert {key(n) for n in shim.nodes} == {key(n) for n in batch.nodes}
-        assert {(key(a), key(b)) for a, b in shim.edges()} == {
-            (key(a), key(b)) for a, b in batch.edges()
-        }
-        assert sorted(shim.flush_set_sizes()) == sorted(
-            batch.flush_set_sizes()
-        )
-        assert len(shim) == len(batch)
+        assert not hasattr(system.cache, "write_graph")
 
     def test_no_internal_callers_warn(self):
         """Driving both modes end to end emits no DeprecationWarning:

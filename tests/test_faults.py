@@ -1,13 +1,17 @@
 """Tests for the faulty-storage simulation layer (repro.storage.faults,
 repro.wal.faulty_log, repro.common.retry)."""
 
+import random
+
 import pytest
 
 from repro.common.errors import CorruptObjectError, TransientStorageError
-from repro.common.retry import retry_transient
+from repro.common.retry import backoff_delay, retry_transient
 from repro.kernel.system import RecoverableSystem, SystemConfig
 from repro.kernel.verify import VerificationError, verify_recovered
 from repro.storage.faults import (
+    FORWARD_PHASE,
+    RECOVERY_PHASE,
     FaultCrash,
     FaultKind,
     FaultModel,
@@ -53,6 +57,159 @@ class TestRetryTransient:
         with pytest.raises(ValueError):
             retry_transient(broken)
         assert calls["n"] == 1
+
+
+class TestBackoffDelay:
+    def test_exponential_under_cap(self):
+        assert backoff_delay(0, base_delay=0.1, max_delay=10.0) == 0.1
+        assert backoff_delay(3, base_delay=0.1, max_delay=10.0) == 0.8
+
+    def test_max_delay_caps_growth(self):
+        assert backoff_delay(50, base_delay=0.1, max_delay=2.0) == 2.0
+
+    def test_jitter_spreads_within_band(self):
+        rng = random.Random(7)
+        delays = [
+            backoff_delay(
+                2, base_delay=0.1, max_delay=10.0, jitter=0.5, rng=rng
+            )
+            for _ in range(200)
+        ]
+        # jitter=0.5 draws uniformly from [0.2, 0.4]
+        assert all(0.2 <= d <= 0.4 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_full_jitter_reaches_zero_band(self):
+        rng = random.Random(3)
+        delays = [
+            backoff_delay(
+                0, base_delay=1.0, max_delay=1.0, jitter=1.0, rng=rng
+            )
+            for _ in range(200)
+        ]
+        assert min(delays) < 0.1 and max(delays) > 0.9
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0, base_delay=0.1, jitter=1.5)
+
+    def test_retry_sleeps_via_injectable_sleep(self):
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise TransientStorageError("flake")
+            return "ok"
+
+        assert (
+            retry_transient(
+                flaky, base_delay=0.25, max_delay=0.5, sleep=slept.append
+            )
+            == "ok"
+        )
+        # Three retries: 0.25, 0.5, capped 0.5 — and no real sleeping.
+        assert slept == [0.25, 0.5, 0.5]
+
+    def test_zero_base_delay_never_sleeps(self):
+        def boom(_):
+            raise AssertionError("sleep must not be called")
+
+        def flaky():
+            if not getattr(flaky, "done", False):
+                flaky.done = True
+                raise TransientStorageError("flake")
+            return "ok"
+
+        assert retry_transient(flaky, sleep=boom) == "ok"
+
+
+class TestFaultPhases:
+    def test_phases_number_independently(self):
+        model = FaultModel()
+        for _ in range(3):
+            model.fire("store.write", "x")
+        model.enter_phase(RECOVERY_PHASE)
+        for _ in range(2):
+            model.fire("store.read", "x")
+        assert model.points_in(FORWARD_PHASE) == 3
+        assert model.points_in(RECOVERY_PHASE) == 2
+        assert model.next_point == 2  # current phase: recovery
+
+    def test_reentering_a_phase_resumes_numbering(self):
+        """Recovery-phase numbering is continuous across restarts: a
+        re-entered phase picks up its counter, so a spec at recovery
+        point k fires exactly once, in whichever attempt reaches it."""
+        model = FaultModel(
+            [FaultSpec(3, FaultKind.CRASH, phase=RECOVERY_PHASE)]
+        )
+        model.enter_phase(RECOVERY_PHASE)
+        model.fire("store.read", "a")  # r0
+        model.fire("store.read", "b")  # r1
+        model.enter_phase(FORWARD_PHASE)
+        model.fire("store.write", "c")  # forward 0 — not r2
+        model.enter_phase(RECOVERY_PHASE)
+        model.fire("store.read", "d")  # r2
+        with pytest.raises(FaultCrash):
+            model.fire("store.read", "e")  # r3 fires the spec
+        assert model.trace() == ["crash@r3"]
+        # A restarted recovery continues past the consumed point.
+        model.enter_phase(RECOVERY_PHASE)
+        assert model.fire("store.read", "f") is None  # r4
+
+    def test_spec_phase_is_part_of_the_key(self):
+        """A recovery-phase spec never fires at the same-numbered
+        forward point, and vice versa."""
+        model = FaultModel(
+            [FaultSpec(0, FaultKind.TRANSIENT, phase=RECOVERY_PHASE)]
+        )
+        assert model.fire("store.write", "x") is None  # forward 0
+        model.enter_phase(RECOVERY_PHASE)
+        with pytest.raises(TransientStorageError):
+            model.fire("store.read", "x")  # recovery 0
+
+    def test_same_point_in_different_phases_allowed(self):
+        model = FaultModel(
+            [
+                FaultSpec(3, FaultKind.TORN),
+                FaultSpec(3, FaultKind.CORRUPT, phase=RECOVERY_PHASE),
+            ]
+        )
+        assert len(model._specs) == 2
+
+    def test_crash_kind_is_clean_death(self):
+        """CRASH raises FaultCrash and damages nothing — the stored
+        bytes are exactly what landed before the point."""
+        store = FaultyStore(FaultModel([FaultSpec(1, FaultKind.CRASH)]))
+        store.write("x", b"v", 1)  # point 0: clean
+        with pytest.raises(FaultCrash):
+            store.write("y", b"w", 2)  # point 1: machine dies
+        assert store.read("x").value == b"v"
+        assert not store.contains("y")
+        assert store.scrub() == []
+
+    def test_describe_prefixes_recovery_points(self):
+        spec = FaultSpec(3, FaultKind.CRASH, phase=RECOVERY_PHASE)
+        assert spec.describe() == "crash@r3"
+        assert FaultSpec(3, FaultKind.CRASH).describe() == "crash@3"
+
+    def test_fuzz_draws_crashes_at_crash_rate(self):
+        model = FaultModel.fuzz(11, FuzzRates(
+            transient=0.0, torn=0.0, corrupt=0.0, crash=1.0,
+        ))
+        with pytest.raises(FaultCrash):
+            model.fire("store.write", "x")
+        assert model.fired[0].kind is FaultKind.CRASH
+
+    def test_fuzz_stamps_current_phase(self):
+        model = FaultModel.fuzz(11, FuzzRates(
+            transient=0.0, torn=0.0, corrupt=0.0, crash=1.0,
+        ))
+        model.enter_phase(RECOVERY_PHASE)
+        with pytest.raises(FaultCrash):
+            model.fire("store.read", "x")
+        assert model.fired[0].describe() == "crash@r0"
 
 
 class TestFaultModel:
