@@ -431,10 +431,16 @@ def test_e10_w_mode_lane(benchmark):
     })
 
 
-def _kernel_run(size: int) -> Dict[str, float]:
-    """End-to-end: execute + periodic purge through a full system."""
+def _kernel_run(size: int, metrics=None) -> Dict[str, float]:
+    """End-to-end: execute + periodic purge through a full system.
+
+    ``metrics`` attaches a registry so the same driver measures the
+    instrumented path (the observability-overhead lane).
+    """
     rng = random.Random(11)
     system = RecoverableSystem(SystemConfig(group_commit=True))
+    if metrics is not None:
+        system.attach_metrics(metrics)
     register_workload_functions(system.registry)
     workload = LogicalWorkload(
         LogicalWorkloadConfig(
@@ -495,6 +501,78 @@ def test_e10_end_to_end_kernel(benchmark):
         "kernel_end_to_end",
         {str(size): row for size, row in results.items()},
     )
+
+
+# ----------------------------------------------------------------------
+# Observability overhead: the null-object default must cost ~nothing
+# ----------------------------------------------------------------------
+#
+# The instrumented hot paths (WAL force, cache install/flush, engine
+# addop) gate all real work behind ``if obs.enabled``; with no registry
+# attached that is one attribute check per call.  This lane runs the
+# end-to-end kernel driver both ways and records both throughputs —
+# the *null* lane is what CI diffs against the committed baseline (the
+# <5% acceptance bar runs at the driver level with the committed
+# BENCH_e10.json), the attached/null ratio is the in-test sanity bar.
+
+#: Write the attached run's registry here as a JSONL artifact
+#: (CI smoke sets it; unset skips the dump).
+METRICS_OUT = os.environ.get("E10_METRICS_OUT", "")
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_observability_overhead(benchmark):
+    from repro.obs import MetricsRegistry, dump_jsonl
+
+    size = SIZES[1]
+
+    def sweep():
+        _kernel_run(max(100, size // 4))  # shared warm-up
+        null_run = _kernel_run(size)
+        registry = MetricsRegistry()
+        attached_run = _kernel_run(size, metrics=registry)
+        return null_run, attached_run, registry
+
+    null_run, attached_run, registry = once(benchmark, sweep)
+
+    ratio = attached_run["ops_per_sec"] / null_run["ops_per_sec"]
+    table = Table(
+        f"E10: observability overhead at {size} ops (75% logical)",
+        ["registry", "ops/s", "p50us", "p99us"],
+    )
+    table.add_row(
+        "none (NULL_OBS)", f"{null_run['ops_per_sec']:,.0f}",
+        f"{null_run['p50_us']:.1f}", f"{null_run['p99_us']:.1f}",
+    )
+    table.add_row(
+        "attached", f"{attached_run['ops_per_sec']:,.0f}",
+        f"{attached_run['p50_us']:.1f}", f"{attached_run['p99_us']:.1f}",
+    )
+    table.add_row("attached/null", f"{ratio:.2f}x", "-", "-")
+    table.print()
+
+    # The attached registry actually measured the run.
+    assert registry.histograms["wal.force"].count > 0
+    assert registry.histograms["cache.flush"].count > 0
+    # >= size: identity writes pass through add_operation too.
+    assert registry.histograms["engine.addop"].count >= size
+    assert registry.counter_value("io.log_forces") > 0
+
+    # Instrumentation cost bar: generous because a single short lane is
+    # noisy — the tight no-registry bar is the CI lane diff on `null`.
+    assert ratio >= 0.5, (
+        f"attached registry halved throughput ({ratio:.2f}x)"
+    )
+
+    if METRICS_OUT:
+        dump_jsonl(registry, METRICS_OUT)
+
+    _record("observability", {
+        "size": size,
+        "null": null_run,
+        "attached": attached_run,
+        "attached_over_null": ratio,
+    })
 
 
 def _group_commit_run(group_commit: bool, seed: int) -> Dict[str, int]:

@@ -196,7 +196,101 @@ def test_e11_crash_rate_ladder(benchmark):
 
 
 # ----------------------------------------------------------------------
-# lane 3: degraded mode, the worst case
+# lane 3: recovery telemetry — spans + latency digests from a
+# supervised campaign, exported as the JSONL artifact CI uploads
+# ----------------------------------------------------------------------
+
+#: Where the telemetry artifact lands (repo root, committed as the
+#: CI-grown baseline; CI smoke overrides via E11_METRICS_OUT).
+METRICS_PATH = os.environ.get(
+    "E11_METRICS_OUT",
+    str(Path(__file__).resolve().parent.parent / "BENCH_e11_metrics.jsonl"),
+)
+#: Supervised fuzz runs for the telemetry lane (kept small: every run
+#: is a full workload + supervised recovery).
+TELEMETRY_RUNS = max(2, min(10, RUNS // 5))
+
+
+def _telemetry_campaign() -> Dict:
+    from repro.obs import MetricsRegistry, dump_jsonl
+
+    registry = MetricsRegistry()
+    harness = TortureHarness(
+        TortureConfig(operations=OPS), metrics=registry
+    )
+    rates = FuzzRates(torn=0.005, corrupt=0.005, crash=0.05)
+    t0 = time.perf_counter()
+    report = harness.fuzz_recovery(TELEMETRY_RUNS, seed=0, rates=rates)
+    elapsed = time.perf_counter() - t0
+    dump_jsonl(registry, METRICS_PATH)
+    attempts = sum(o.attempts for o in report.outcomes)
+    snap = registry.snapshot()
+    return {
+        "runs": len(report.outcomes),
+        "failed": len(report.failures()),
+        "attempts": attempts,
+        "seconds_per_attempt": (
+            sum(
+                event["seconds"]
+                for event in registry.span_events("recovery.attempt")
+            )
+            / max(1, attempts)
+        ),
+        "wall_s": elapsed,
+        "metrics_path": METRICS_PATH,
+        "_report": report,
+        "_registry": registry,
+        "_snapshot": snap,
+    }
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_recovery_telemetry(benchmark):
+    result = once(benchmark, _telemetry_campaign)
+    report = result.pop("_report")
+    registry = result.pop("_registry")
+    snap = result.pop("_snapshot")
+
+    table = Table(
+        f"E11: supervised-recovery telemetry ({TELEMETRY_RUNS} fuzz runs)",
+        ["metric", "value"],
+    )
+    for key in ("runs", "failed", "attempts", "seconds_per_attempt",
+                "wall_s"):
+        value = result[key]
+        table.add_row(
+            key, f"{value:.5f}" if isinstance(value, float) else value
+        )
+    table.print()
+
+    assert report.ok
+    # One span per supervised recovery attempt, each tagged with the
+    # phase and the supervisor's verdict.
+    spans = registry.span_events("recovery.attempt")
+    assert len(spans) == result["attempts"] > 0
+    for event in spans:
+        assert event["tags"]["phase"] == "recovery"
+        assert "outcome" in event["tags"]
+    # The latency digests CI's artifact carries: p50/p99 for the WAL
+    # force and the cache flush paths.
+    for name in ("wal.force", "cache.flush"):
+        hist = snap["histograms"][name]
+        assert hist["count"] > 0
+        assert hist["p99"] >= hist["p50"] >= 0.0
+    # The artifact on disk round-trips to the same counters.
+    from repro.obs import load_jsonl
+
+    loaded = load_jsonl(METRICS_PATH)
+    assert loaded["snapshot"]["counters"] == snap["counters"]
+    assert len(loaded["spans"]) == len(registry.span_events())
+
+    _record("recovery_telemetry", {
+        key: value for key, value in result.items()
+    })
+
+
+# ----------------------------------------------------------------------
+# lane 4: degraded mode, the worst case
 # ----------------------------------------------------------------------
 def _degraded_campaign() -> Dict:
     model = FaultModel(armed=False)

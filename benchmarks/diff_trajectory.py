@@ -1,19 +1,21 @@
-"""Diff two BENCH_e10.json trajectory files and fail on regressions.
+"""Diff two BENCH trajectory files and fail on regressions.
 
-CI runs the E10 smoke benchmark, then compares the fresh trajectory
-against the committed one::
+CI runs the E10/E11 smoke benchmarks, then compares each fresh
+trajectory against the committed one::
 
     python benchmarks/diff_trajectory.py BASELINE CURRENT [--threshold 0.2]
 
-A *lane* is any dict in the trajectory that carries an ``ops_per_sec``
-value, addressed by its dotted path (e.g.
-``graph_maintenance.indexed.75% logical@1000``).  Lanes marked
+A *lane* is either a dict carrying an ``ops_per_sec`` value (higher is
+better) or any numeric ``seconds_per_*`` entry (lower is better — the
+recovery-attempt wall-time lanes E11 records), addressed by its dotted
+path (e.g. ``graph_maintenance.indexed.75% logical@1000`` or
+``recovery_telemetry.seconds_per_attempt``).  Lanes marked
 ``"extrapolated": true`` were never measured and are skipped.  Only
 lanes present in **both** files are compared — the smoke run measures a
 subset of the committed full-size lanes, and a brand-new lane has no
 baseline yet, so both are reported but never fail the build.  A lane
-whose throughput drops by more than the threshold (default 20%) fails
-with exit status 1.
+that moves in its bad direction (throughput drop, wall-time rise) by
+more than the threshold (default 20%) fails with exit status 1.
 
 (The name deliberately avoids the ``bench_*``/``test_*`` patterns so
 pytest does not collect this module.)
@@ -30,25 +32,52 @@ from typing import Dict, List, Tuple
 
 DEFAULT_THRESHOLD = 0.20
 
+#: A lane value: (measurement, higher_is_better).
+Lane = Tuple[float, bool]
 
-def collect_lanes(data, prefix: str = "") -> Dict[str, float]:
-    """All dotted-path -> ops_per_sec lanes, skipping extrapolated."""
-    lanes: Dict[str, float] = {}
+
+def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
+    """All dotted-path lanes, skipping extrapolated entries.
+
+    ``ops_per_sec`` dicts yield higher-is-better lanes at the dict's
+    own path; numeric ``seconds_per_*`` keys yield lower-is-better
+    lanes at ``<path>.<key>``.
+    """
+    lanes: Dict[str, Lane] = {}
     if not isinstance(data, dict):
         return lanes
     rate = data.get("ops_per_sec")
     if isinstance(rate, (int, float)) and not data.get("extrapolated"):
-        lanes[prefix or "."] = float(rate)
+        lanes[prefix or "."] = (float(rate), True)
     for key, value in data.items():
         if isinstance(value, dict):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes.update(collect_lanes(value, path))
+        elif (
+            str(key).startswith("seconds_per_")
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and not data.get("extrapolated")
+        ):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            lanes[path] = (float(value), False)
     return lanes
 
 
+def _as_lane(value) -> Lane:
+    """Normalize a legacy bare float (old callers) to a lane tuple."""
+    if isinstance(value, tuple):
+        return value
+    return (float(value), True)
+
+
+def _fmt(value: float, higher_better: bool) -> str:
+    return f"{value:,.0f} ops/s" if higher_better else f"{value:.4g} s"
+
+
 def compare(
-    baseline: Dict[str, float],
-    current: Dict[str, float],
+    baseline: Dict[str, object],
+    current: Dict[str, object],
     threshold: float = DEFAULT_THRESHOLD,
 ) -> Tuple[List[str], List[str]]:
     """Returns (report_lines, regression_lines)."""
@@ -58,18 +87,21 @@ def compare(
         if lane not in current:
             report.append(f"  [gone]     {lane} (baseline only; not run)")
             continue
+        new, higher_better = _as_lane(current[lane])
         if lane not in baseline:
             report.append(
-                f"  [new]      {lane}: {current[lane]:,.0f} ops/s "
+                f"  [new]      {lane}: {_fmt(new, higher_better)} "
                 "(no baseline; recorded)"
             )
             continue
-        old, new = baseline[lane], current[lane]
+        old, _ = _as_lane(baseline[lane])
         change = (new - old) / old if old else 0.0
         line = (
-            f"{lane}: {old:,.0f} -> {new:,.0f} ops/s ({change:+.1%})"
+            f"{lane}: {_fmt(old, higher_better)} -> "
+            f"{_fmt(new, higher_better)} ({change:+.1%})"
         )
-        if change < -threshold:
+        bad = change < -threshold if higher_better else change > threshold
+        if bad:
             report.append(f"  [REGRESS]  {line}")
             regressions.append(line)
         else:
@@ -87,7 +119,8 @@ def main(argv: List[str] = None) -> int:
         default=float(
             os.environ.get("E10_DIFF_THRESHOLD", DEFAULT_THRESHOLD)
         ),
-        help="maximum tolerated fractional ops/sec drop (default 0.20)",
+        help="maximum tolerated fractional move in a lane's bad "
+        "direction (default 0.20)",
     )
     args = parser.parse_args(argv)
 
@@ -99,7 +132,7 @@ def main(argv: List[str] = None) -> int:
 
     report, regressions = compare(baseline, current, args.threshold)
     print(
-        f"E10 trajectory diff ({len(baseline)} baseline lanes, "
+        f"trajectory diff ({len(baseline)} baseline lanes, "
         f"{len(current)} current, threshold {args.threshold:.0%}):"
     )
     for line in report:

@@ -58,6 +58,14 @@ from repro.storage import (
     FaultyStore,
     FuzzRates,
 )
+from repro.obs import (
+    MetricsRegistry,
+    NULL_OBS,
+    Span,
+    dump_jsonl,
+    load_jsonl,
+    render_prometheus,
+)
 from repro.kernel import (
     RecoverableSystem,
     SystemConfig,
@@ -73,7 +81,7 @@ from repro.kernel import (
     TortureReport,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "ObjectId",
@@ -112,6 +120,12 @@ __all__ = [
     "FaultyStore",
     "FuzzRates",
     "DegradedModeError",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Span",
+    "dump_jsonl",
+    "load_jsonl",
+    "render_prometheus",
     "RecoverableSystem",
     "SystemConfig",
     "SystemHealth",

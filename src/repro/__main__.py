@@ -13,21 +13,38 @@
   during restarted recoveries), then fuzz schedules spanning both
   phases, all driven through the supervisor's escalation ladder.  A
   failing run prints its structured recovery supervision report.
+* ``metrics <file.jsonl>`` — render a telemetry file exported with
+  ``--metrics-out`` (or :func:`repro.obs.dump_jsonl`) as
+  Prometheus-style exposition text; ``--summary`` prints the condensed
+  counter/latency table instead.
+
+Every torture mode accepts ``--metrics-out PATH``: the campaign runs
+with a shared :class:`~repro.obs.metrics.MetricsRegistry` attached to
+every system it builds, and the registry (spans included) is written
+to PATH as JSONL when the campaign finishes.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro import RecoverableSystem, verify_recovered
-from repro.analysis import Table, failure_summary, fault_summary, format_bytes
+from repro.analysis import (
+    Table,
+    failure_summary,
+    fault_summary,
+    format_bytes,
+    obs_summary,
+)
 from repro.domains import (
     ApplicationRuntime,
     RecoverableBTree,
     RecoverableFileSystem,
 )
 from repro.kernel.torture import TortureConfig, TortureHarness, TortureReport
+from repro.obs import MetricsRegistry, dump_jsonl, load_jsonl, render_prometheus
 from repro.storage.faults import FuzzRates
 
 
@@ -83,6 +100,17 @@ def _torture_config(args: argparse.Namespace) -> TortureConfig:
     )
 
 
+def _harness(args: argparse.Namespace) -> TortureHarness:
+    metrics = MetricsRegistry() if args.metrics_out else None
+    return TortureHarness(_torture_config(args), metrics=metrics)
+
+
+def _dump_metrics(harness: TortureHarness, args: argparse.Namespace) -> None:
+    if harness.obs is not None:
+        dump_jsonl(harness.obs, args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
+
+
 def _report_torture(report: TortureReport) -> int:
     print(report.summary())
     fault_summary(report.totals).print()
@@ -104,16 +132,18 @@ def _report_torture(report: TortureReport) -> int:
 
 
 def torture_sweep(args: argparse.Namespace) -> int:
-    harness = TortureHarness(_torture_config(args))
+    harness = _harness(args)
     print(
         f"sweeping {harness.count_points()} I/O points "
         f"(workload seed {args.workload_seed}, {args.ops} operations)"
     )
-    return _report_torture(harness.sweep())
+    status = _report_torture(harness.sweep())
+    _dump_metrics(harness, args)
+    return status
 
 
 def torture_fuzz(args: argparse.Namespace) -> int:
-    harness = TortureHarness(_torture_config(args))
+    harness = _harness(args)
     rates = FuzzRates(
         transient=args.p_transient,
         torn=args.p_torn,
@@ -123,11 +153,13 @@ def torture_fuzz(args: argparse.Namespace) -> int:
         f"fuzzing {args.runs} schedules from seed {args.seed} "
         f"(workload seed {args.workload_seed})"
     )
-    return _report_torture(harness.fuzz(args.runs, args.seed, rates))
+    status = _report_torture(harness.fuzz(args.runs, args.seed, rates))
+    _dump_metrics(harness, args)
+    return status
 
 
 def torture_v2(args: argparse.Namespace) -> int:
-    harness = TortureHarness(_torture_config(args))
+    harness = _harness(args)
     points = harness.recovery_points()
     print(
         f"torture v2: sweeping {points} recovery-phase I/O points "
@@ -145,7 +177,21 @@ def torture_v2(args: argparse.Namespace) -> int:
         )
         fuzz = harness.fuzz_recovery(args.fuzz_runs, args.seed, rates)
         status = _report_torture(fuzz) or status
+    _dump_metrics(harness, args)
     return status
+
+
+def metrics_view(args: argparse.Namespace) -> int:
+    try:
+        loaded = load_jsonl(args.path)
+    except OSError as exc:
+        print(f"cannot read telemetry file: {exc}", file=sys.stderr)
+        return 1
+    if args.summary:
+        obs_summary(loaded["snapshot"]).print()
+        return 0
+    print(render_prometheus(loaded["snapshot"]), end="")
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -167,6 +213,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="object population (default 5)")
         p.add_argument("--workload-seed", type=int, default=0,
                        help="workload/interleave seed (default 0)")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write campaign telemetry (JSONL) to PATH")
 
     sweep = tsub.add_parser(
         "sweep", help="every I/O point x every must-survive fault kind"
@@ -205,6 +253,15 @@ def _build_parser() -> argparse.ArgumentParser:
     v2.add_argument("--p-crash", type=float, default=0.01,
                     help="per-point clean-crash rate")
     v2.set_defaults(fn=torture_v2)
+
+    metrics = sub.add_parser(
+        "metrics", help="render an exported telemetry JSONL file"
+    )
+    metrics.add_argument("path", help="JSONL file written by --metrics-out")
+    metrics.add_argument("--summary", action="store_true",
+                         help="condensed counter/latency table instead of "
+                         "Prometheus exposition text")
+    metrics.set_defaults(fn=metrics_view)
     return parser
 
 

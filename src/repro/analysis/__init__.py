@@ -8,6 +8,7 @@ from repro.analysis.logstats import (
     engine_summary,
     failure_summary,
     fault_summary,
+    obs_summary,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "engine_summary",
     "failure_summary",
     "fault_summary",
+    "obs_summary",
 ]

@@ -9,15 +9,16 @@ Also renders the fault-injection ledger (:func:`fault_summary`): how
 many faults a torture campaign injected and how each was absorbed —
 retried, checksum-detected, quarantined, media-recovered, and how many
 recovery attempts/restarts the supervisor drove — the write-graph
-engine's counters (:func:`engine_summary`), and the recovery
+engine's counters (:func:`engine_summary`), the recovery
 supervisor's structured :class:`~repro.kernel.supervisor.FailureReport`
-(:func:`failure_summary`).
+(:func:`failure_summary`), and a system's observability registry
+(:func:`obs_summary`: top counters plus per-histogram p50/p99).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Union
 
 from repro.analysis.tables import Table, format_bytes
 from repro.storage.stats import IOStats
@@ -173,6 +174,47 @@ def failure_summary(
             f"restored {sorted(map(str, report.objects_restored))}"
         ),
     )
+    return table
+
+
+def _sig(value: float) -> str:
+    """Compact numeric rendering for mixed counts and sub-ms latencies."""
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def obs_summary(
+    source: Union[Any, Mapping[str, Any]],
+    title: str = "observability summary",
+    top: int = 12,
+) -> Table:
+    """A metrics registry (or its :meth:`snapshot`) as a printable table.
+
+    Two sections: the ``top`` largest counters (collector-backed
+    ``io.*``/``engine.*`` values included), then every histogram with
+    its observation count, p50, p99, and mean — the per-span-kind
+    latency digest the benchmarks and the ``metrics --summary`` CLI
+    print.
+    """
+    snap = source if isinstance(source, Mapping) else source.snapshot()
+    table = Table(title, ["metric", "count", "p50", "p99", "mean"])
+    counters = snap.get("counters", {})
+    ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    for name, value in ranked[:top]:
+        table.add_row(name, _sig(value), "-", "-", "-")
+    dropped = len(ranked) - top
+    if dropped > 0:
+        table.add_row(f"... {dropped} more counters", "-", "-", "-", "-")
+    for name in sorted(snap.get("histograms", {})):
+        hist = snap["histograms"][name]
+        table.add_row(
+            name,
+            _sig(hist["count"]),
+            _sig(hist["p50"]),
+            _sig(hist["p99"]),
+            _sig(hist["mean"]),
+        )
     return table
 
 

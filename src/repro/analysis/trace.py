@@ -11,8 +11,9 @@ Tracing is opt-in and costs nothing when absent.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -35,17 +36,15 @@ class Tracer:
     """Append-only event sink."""
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        #: Optional bound; oldest events are dropped beyond it.
+        #: Optional bound; the deque drops oldest events beyond it.
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
 
     def emit(self, kind: str, **details: Any) -> None:
         """Record one event."""
         self.events.append(
             TraceEvent(kind, tuple(sorted(details.items())))
         )
-        if self.capacity is not None and len(self.events) > self.capacity:
-            del self.events[0: len(self.events) - self.capacity]
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         """All recorded events of one kind, in order."""

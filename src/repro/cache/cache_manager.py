@@ -36,6 +36,7 @@ Installation (PurgeCache, Figure 4, generalized for rW):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
@@ -54,6 +55,7 @@ from repro.core.operation import (
 )
 from repro.core.refined_write_graph import RWNode
 from repro.core.state_identifiers import DirtyObjectTable, UninstalledWriters
+from repro.obs.metrics import NULL_OBS
 from repro.storage.stable_store import StableStore, StoredVersion
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
@@ -93,12 +95,19 @@ class CacheManager:
         #: Access-recency tracker feeding the hot-object victim policy;
         #: maintained regardless of the configured eviction policy.
         self.heat = LRUEviction()
-        #: Optional event sink (see repro.analysis.trace); None = off.
-        self.tracer = None
+        #: Observability hook (null object by default).  Events that
+        #: used to go to a directly-attached tracer now flow through
+        #: ``obs.emit`` — a Tracer subscribes to the registry instead.
+        self.obs = NULL_OBS
+
+    def set_obs(self, obs) -> None:
+        """Wire a metrics registry (or NULL_OBS) into this manager and
+        its live write-graph engine."""
+        self.obs = obs
+        self._engine.obs = obs
 
     def _emit(self, kind: str, **details) -> None:
-        if self.tracer is not None:
-            self.tracer.emit(kind, **details)
+        self.obs.emit(kind, **details)
 
     # ------------------------------------------------------------------
     # execution
@@ -260,6 +269,8 @@ class CacheManager:
         del self._entries[obj]
         self.heat.forget(obj)
         self.config.eviction.forget(obj)
+        if self.obs.enabled:
+            self.obs.count("cache.evictions")
         self._emit("evict", obj=obj)
 
     def _enforce_capacity(self) -> None:
@@ -341,7 +352,15 @@ class CacheManager:
                 )
                 wip = identity_write(victim, self._entries[victim].value)
                 self._emit("identity-write", obj=victim)
-                self.execute(wip)
+                if self.obs.enabled:
+                    injected = time.perf_counter()
+                    self.execute(wip)
+                    self.obs.observe(
+                        "cache.identity_write",
+                        time.perf_counter() - injected,
+                    )
+                else:
+                    self.execute(wip)
                 self.stats.identity_writes += 1
         finally:
             self._enforcing = previous
@@ -350,6 +369,19 @@ class CacheManager:
     # installation
     # ------------------------------------------------------------------
     def _install_node(self, node: RWNode, graph: WriteGraphEngine) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            self._install_node_inner(node, graph)
+            return
+        start = time.perf_counter()
+        try:
+            self._install_node_inner(node, graph)
+        finally:
+            obs.observe("cache.install", time.perf_counter() - start)
+
+    def _install_node_inner(
+        self, node: RWNode, graph: WriteGraphEngine
+    ) -> None:
         if graph.predecessors(node):  # pragma: no cover - defensive
             raise CacheError(f"{node!r} is not minimal")
         ops = sorted(node.ops, key=lambda o: o.lsi)
@@ -450,6 +482,17 @@ class CacheManager:
         """
         if not objs:
             return
+        obs = self.obs
+        if not obs.enabled:
+            self._flush_objects_inner(objs)
+            return
+        start = time.perf_counter()
+        try:
+            self._flush_objects_inner(objs)
+        finally:
+            obs.observe("cache.flush", time.perf_counter() - start)
+
+    def _flush_objects_inner(self, objs: Set[ObjectId]) -> None:
         versions: Dict[ObjectId, StoredVersion] = {}
         deletions: List[ObjectId] = []
         for obj in sorted(objs):

@@ -37,6 +37,8 @@ installation interleaved.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.operation import Operation
 from repro.core.refined_write_graph import RefinedWriteGraph, RWNode
 
@@ -51,6 +53,8 @@ class IncrementalWriteGraph(RefinedWriteGraph):
     # ------------------------------------------------------------------
     def add_operation(self, op: Operation) -> RWNode:
         """Insert ``op``, presented in conflict order, and return its node."""
+        obs = self.obs
+        started = time.perf_counter() if obs.enabled else 0.0
         self._ops_added += 1
         self._edge_log.clear()
         self._logging = True
@@ -98,6 +102,8 @@ class IncrementalWriteGraph(RefinedWriteGraph):
 
         self._repair_order()
         self._logging = False
+        if obs.enabled:
+            obs.observe("engine.addop", time.perf_counter() - started)
         # The merge/collapse steps may have replaced m; return the node
         # that now holds op.
         return self._node_of_op[op]

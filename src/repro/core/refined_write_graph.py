@@ -45,11 +45,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.identifiers import ObjectId
 from repro.core.graph_utils import strongly_connected_components
 from repro.core.operation import Operation
+from repro.obs.metrics import COUNT_BUCKETS, NULL_OBS
 
 
 class RWNode:
@@ -165,6 +167,9 @@ class RefinedWriteGraph:
         self._ops_added: int = 0
         self._merges: int = 0
         self._removals: int = 0
+        #: Observability hook (null object by default; the cache
+        #: manager's ``set_obs`` swaps in the system registry).
+        self.obs = NULL_OBS
 
     @property
     def nodes(self) -> List[RWNode]:
@@ -289,6 +294,24 @@ class RefinedWriteGraph:
         if not violations:
             return
         self._logging = False
+        obs = self.obs
+        if not obs.enabled:
+            self._repair_violations(violations)
+            return
+        collapses_before = self.cycle_collapses
+        started = time.perf_counter()
+        cone = self._repair_violations(violations)
+        obs.observe("engine.repair", time.perf_counter() - started)
+        obs.observe("engine.repair_cone_nodes", cone, COUNT_BUCKETS)
+        collapsed = self.cycle_collapses - collapses_before
+        if collapsed:
+            obs.count("engine.cycle_collapses", collapsed)
+
+    def _repair_violations(
+        self, violations: List[Tuple[RWNode, RWNode]]
+    ) -> int:
+        """Run the region repair for ``violations``; returns the size of
+        the discovered closure (the repair cone)."""
         fwd: Set[RWNode] = set()
         fwd_stack = [dst for _, dst in violations]
         bwd: Set[RWNode] = set()
@@ -334,15 +357,21 @@ class RefinedWriteGraph:
                 self._min_rank -= len(ordered)
                 for offset, node in enumerate(ordered):
                     self._topo[node] = self._min_rank + offset
-            return
+            return len(ordered)
         # The closure is closed under the direction searched, so the
         # unrestricted adjacency stays inside it; for the ancestor
         # cone Tarjan runs on the transpose, which has the same SCCs.
         adjacency = self._succ if moving_down else self._pred
+        obs = self.obs
+        collapse_started = time.perf_counter() if obs.enabled else 0.0
         for scc in strongly_connected_components(ordered, adjacency):
             if len(scc) > 1:
                 self.cycle_collapses += 1
                 self._merge(sorted(scc, key=lambda n: n.node_id))
+        if obs.enabled:
+            obs.observe(
+                "engine.collapse", time.perf_counter() - collapse_started
+            )
         survivors = [n for n in ordered if n in self._topo]
         survivor_set = set(survivors)
         # Kahn over the (now acyclic) closure, smallest node_id first
@@ -374,12 +403,15 @@ class RefinedWriteGraph:
                     if indegree[neighbor] == 0:
                         heapq.heappush(frontier, (neighbor.node_id, neighbor))
         assert placed == len(survivors), "collapse left a cycle"
+        return len(ordered)
 
     # ------------------------------------------------------------------
     # addop_rW (Figure 6)
     # ------------------------------------------------------------------
     def add_operation(self, op: Operation) -> RWNode:
         """Insert ``op``, presented in conflict order, and return its node."""
+        obs = self.obs
+        started = time.perf_counter() if obs.enabled else 0.0
         self._ops_added += 1
         exp = op.exp
         notexp = op.notexp
@@ -465,6 +497,8 @@ class RefinedWriteGraph:
 
         self._repair_order()
         self._logging = False
+        if obs.enabled:
+            obs.observe("engine.addop", time.perf_counter() - started)
         # The merge/collapse steps may have replaced m; return the node
         # that now holds op.
         return self._node_of_op[op]

@@ -178,73 +178,93 @@ class RecoverySupervisor:
             ):
                 break
             system.stats.recovery_attempts += 1
+            obs = system.obs
+            if obs.enabled:
+                obs.count("recovery.attempts")
             fault_mark = self._fault_mark()
-            try:
-                # Merge quarantine observations from *every* attempt,
-                # converged or not: an object quarantined by a run that
-                # later crashed stays quarantined in the store, and a
-                # fresh scrub will not see it again.
+            # One span per recovery attempt: tagged with the phase, the
+            # fault points that fired during the attempt, and the
+            # outcome/escalation the supervisor chose.
+            with obs.span(
+                "recovery.attempt", attempt=attempt, phase="recovery"
+            ) as span:
                 try:
-                    system.recover(quarantine_backup=restore_backup)
-                finally:
-                    claimed.update(system.last_quarantined)
-            except SimulatedCrash as exc:
-                system.stats.recovery_restarts += 1
-                report.attempts.append(
-                    self._record(
-                        attempt, "crashed", "restart", exc, fault_mark
+                    # Merge quarantine observations from *every* attempt,
+                    # converged or not: an object quarantined by a run
+                    # that later crashed stays quarantined in the store,
+                    # and a fresh scrub will not see it again.
+                    try:
+                        system.recover(quarantine_backup=restore_backup)
+                    finally:
+                        claimed.update(system.last_quarantined)
+                except SimulatedCrash as exc:
+                    system.stats.recovery_restarts += 1
+                    report.attempts.append(
+                        self._record(
+                            attempt, "crashed", "restart", exc, fault_mark,
+                            span,
+                        )
+                    )
+                    self._pause(attempt)
+                    continue
+                except TransientStorageError as exc:
+                    report.attempts.append(
+                        self._record(
+                            attempt, "transient", "retry", exc, fault_mark,
+                            span,
+                        )
+                    )
+                    self._pause(attempt)
+                    continue
+                except CorruptObjectError as exc:
+                    # The damage is stable; the next attempt's
+                    # pre-recovery scrub quarantines it and (if allowed)
+                    # restores from the backup image before widening the
+                    # redo scan.
+                    report.attempts.append(
+                        self._record(
+                            attempt,
+                            "corrupt",
+                            "quarantine+media-restore",
+                            exc,
+                            fault_mark,
+                            span,
+                        )
+                    )
+                    self._pause(attempt)
+                    continue
+
+                latent = system.store.scrub()
+                if latent:
+                    # Torn recovery writes that did not crash: stable
+                    # damage exists under a cache that looks converged.
+                    # Crash the volatile state and recover again — the
+                    # scrub rung will quarantine what we just found.
+                    record = self._record(
+                        attempt, "latent-damage", "re-recover", None,
+                        fault_mark, span,
+                    )
+                    record.error = (
+                        f"post-recovery scrub found damage: "
+                        f"{sorted(map(str, latent))}"
+                    )
+                    report.attempts.append(record)
+                    system.crash()
+                    self._pause(attempt)
+                    continue
+
+                return self._finish_obs(
+                    self._converge(
+                        report, attempt, claimed, fault_mark, start, span
                     )
                 )
-                self._pause(attempt)
-                continue
-            except TransientStorageError as exc:
-                report.attempts.append(
-                    self._record(attempt, "transient", "retry", exc, fault_mark)
-                )
-                self._pause(attempt)
-                continue
-            except CorruptObjectError as exc:
-                # The damage is stable; the next attempt's pre-recovery
-                # scrub quarantines it and (if allowed) restores from
-                # the backup image before widening the redo scan.
-                report.attempts.append(
-                    self._record(
-                        attempt,
-                        "corrupt",
-                        "quarantine+media-restore",
-                        exc,
-                        fault_mark,
-                    )
-                )
-                self._pause(attempt)
-                continue
-
-            latent = system.store.scrub()
-            if latent:
-                # Torn recovery writes that did not crash: stable damage
-                # exists under a cache that looks converged.  Crash the
-                # volatile state and recover again — the scrub rung will
-                # quarantine what we just found.
-                record = self._record(
-                    attempt, "latent-damage", "re-recover", None, fault_mark
-                )
-                record.error = (
-                    f"post-recovery scrub found damage: "
-                    f"{sorted(map(str, latent))}"
-                )
-                report.attempts.append(record)
-                system.crash()
-                self._pause(attempt)
-                continue
-
-            return self._converge(report, attempt, claimed, fault_mark, start)
 
         # Budgets exhausted without convergence.
         system.mark_failed()
         report.final_health = system.health
         report.elapsed = cfg.clock() - start
         system.last_failure_report = report
-        return report
+        return self._finish_obs(report)
 
     # ------------------------------------------------------------------
     # rungs
@@ -256,6 +276,7 @@ class RecoverySupervisor:
         claimed: Dict[ObjectId, StateId],
         fault_mark: int,
         start: float,
+        span=None,
     ) -> FailureReport:
         system = self.system
         lost = sorted(
@@ -264,7 +285,9 @@ class RecoverySupervisor:
             if system.cache.vsi_of(obj) < vsi
         )
         restored = sorted(obj for obj in claimed if obj not in lost)
-        record = self._record(attempt, "converged", "none", None, fault_mark)
+        record = self._record(
+            attempt, "converged", "none", None, fault_mark, span
+        )
         if lost:
             if self.config.allow_degraded:
                 record.escalation = "degrade"
@@ -272,6 +295,12 @@ class RecoverySupervisor:
             else:
                 record.escalation = "fail"
                 system.mark_failed()
+        if span is not None:
+            span.tag(
+                escalation=record.escalation,
+                lost=len(lost),
+                restored=len(restored),
+            )
         report.attempts.append(record)
         report.converged = True
         report.objects_lost = list(lost)
@@ -295,6 +324,7 @@ class RecoverySupervisor:
         escalation: str,
         exc: Optional[BaseException],
         fault_mark: int,
+        span=None,
     ) -> AttemptRecord:
         model = getattr(self.system.store, "model", None)
         faults = (
@@ -302,6 +332,13 @@ class RecoverySupervisor:
             if model is not None
             else []
         )
+        if span is not None:
+            span.tag(
+                outcome=outcome,
+                escalation=escalation,
+                faults=list(faults),
+                quarantined=sorted(map(str, self.system.last_quarantined)),
+            )
         return AttemptRecord(
             index=index,
             outcome=outcome,
@@ -310,6 +347,21 @@ class RecoverySupervisor:
             faults=faults,
             quarantined=sorted(self.system.last_quarantined),
         )
+
+    def _finish_obs(self, report: FailureReport) -> FailureReport:
+        """Mirror the FailureReport tallies into the system registry."""
+        obs = self.system.obs
+        if obs.enabled:
+            obs.count("recovery.supervised_runs")
+            if report.converged:
+                obs.count("recovery.converged_runs")
+            obs.count("recovery.objects_lost", len(report.objects_lost))
+            obs.count(
+                "recovery.objects_restored", len(report.objects_restored)
+            )
+            obs.gauge("recovery.last_attempts", report.attempts_used)
+            obs.gauge("recovery.last_elapsed_s", report.elapsed)
+        return report
 
     def _pause(self, attempt: int) -> None:
         cfg = self.config

@@ -42,6 +42,7 @@ from repro.core.operation import Operation
 from repro.core.oracle import Oracle
 from repro.core.recovery import RecoveryManager, RecoveryReport
 from repro.core.redo import GeneralizedRedoTest, RedoTest
+from repro.obs.metrics import MetricsRegistry, NULL_OBS
 from repro.storage.backup import FuzzyBackup
 from repro.storage.stable_store import StableStore
 from repro.storage.stats import IOStats
@@ -136,6 +137,10 @@ class RecoverableSystem:
         #: ``PersistentSystem.open(supervisor_config=...)``).
         self.last_failure_report = None
         self._tracer = None
+        #: The system's observability hub.  NULL_OBS (a no-op null
+        #: object) until :meth:`attach_metrics` installs a registry;
+        #: re-wired into every fresh cache manager across crash/recover.
+        self.obs = NULL_OBS
         self._checkpoint_marker = 0
         #: Escalation-ladder position (see :class:`SystemHealth`).
         self.health = SystemHealth.HEALTHY
@@ -148,9 +153,36 @@ class RecoverableSystem:
         #: classify each quarantined object as restored or lost.
         self.last_quarantined: Dict[ObjectId, StateId] = {}
 
+    def attach_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Attach (or create) the system's metrics registry.
+
+        The registry absorbs the existing counter ledgers as collectors
+        (``io.*`` from :class:`~repro.storage.stats.IOStats`,
+        ``engine.*`` from the live write-graph engine's ``stats()``) and
+        is wired into the log manager, cache manager and engine so hot
+        paths record latencies into it.  Survives crash/recover.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        self.obs = registry
+        registry.add_collector("io", self.stats.snapshot)
+        registry.add_collector("engine", lambda: dict(self.engine.stats()))
+        self._wire_obs()
+        return registry
+
+    def _wire_obs(self) -> None:
+        """Point the current component set at the system registry."""
+        self.log.obs = self.obs
+        self.cache.set_obs(self.obs)
+
     def attach_tracer(self, tracer=None):
         """Attach (or create) an event tracer; survives crash/recover.
 
+        The tracer is a *sink* on the system's metrics registry (one is
+        created on demand): events such as ``execute``/``install``/
+        ``evict`` flow through ``registry.emit`` to every subscriber.
         Returns the tracer so callers can inspect
         :attr:`repro.analysis.trace.Tracer.events`.
         """
@@ -158,8 +190,10 @@ class RecoverableSystem:
             from repro.analysis.trace import Tracer
 
             tracer = Tracer()
+        if not self.obs.enabled:
+            self.attach_metrics()
         self._tracer = tracer
-        self.cache.tracer = tracer
+        self.obs.subscribe(tracer)
         return tracer
 
     # ------------------------------------------------------------------
@@ -266,7 +300,7 @@ class RecoverableSystem:
             self.config.fresh_cache_config(),
             self.stats,
         )
-        self.cache.tracer = self._tracer
+        self.cache.set_obs(self.obs)
         self._crashed = True
         self.health = SystemHealth.RECOVERING
         return lost
@@ -310,9 +344,13 @@ class RecoverableSystem:
                 if media_redo_start is None
                 else min(media_redo_start, pending)
             )
-        media_redo_start = self._quarantine_scrub(
-            media_redo_start, quarantine_backup
-        )
+        with self.obs.span("recovery.scrub", phase="recovery") as scrub_span:
+            media_redo_start = self._quarantine_scrub(
+                media_redo_start, quarantine_backup
+            )
+            scrub_span.tag(
+                quarantined=sorted(map(str, self.last_quarantined))
+            )
         if media_redo_start is not None:
             self.store.media_redo_pending = media_redo_start
         manager = RecoveryManager(
@@ -322,7 +360,13 @@ class RecoverableSystem:
             self.config.redo_test,
             self.stats,
         )
-        outcome = manager.run(media_redo_start=media_redo_start)
+        with self.obs.span(
+            "recovery.redo",
+            phase="recovery",
+            media=media_redo_start is not None,
+        ) as redo_span:
+            outcome = manager.run(media_redo_start=media_redo_start)
+            redo_span.tag(redone=len(outcome.redone_ops))
         # Drop the operations whose records died in the volatile log
         # buffer — durably, they never happened.  The surviving history
         # deliberately includes operations truncated off the log: they
@@ -339,15 +383,16 @@ class RecoverableSystem:
         self.history = History()
         for op in survivors:
             self.history.append(op)
-        self.cache = CacheManager(
-            self.store,
-            self.log,
-            self.registry,
-            self.config.fresh_cache_config(),
-            self.stats,
-        )
-        self.cache.adopt_recovery(outcome.volatile, outcome.redone_ops)
-        self.cache.tracer = self._tracer
+        with self.obs.span("recovery.adopt", phase="recovery"):
+            self.cache = CacheManager(
+                self.store,
+                self.log,
+                self.registry,
+                self.config.fresh_cache_config(),
+                self.stats,
+            )
+            self.cache.set_obs(self.obs)
+            self.cache.adopt_recovery(outcome.volatile, outcome.redone_ops)
         self._crashed = False
         self.health = SystemHealth.HEALTHY
         self.lost_objects = set()

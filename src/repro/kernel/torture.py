@@ -64,6 +64,7 @@ from repro.kernel.system import (
     SystemHealth,
 )
 from repro.kernel.verify import verify_recovered
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.faults import (
     RECOVERY_PHASE,
     FaultKind,
@@ -176,9 +177,16 @@ class TortureReport:
 class TortureHarness:
     """Drives fault-injected workloads through crash and recovery."""
 
-    def __init__(self, config: Optional[TortureConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[TortureConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config if config is not None else TortureConfig()
         self._totals: Dict[str, int] = {}
+        #: Optional shared registry: every system the campaign builds
+        #: attaches it, so spans and histograms accumulate across runs.
+        self.obs = metrics
 
     # ------------------------------------------------------------------
     # one run
@@ -190,6 +198,8 @@ class TortureHarness:
             log=FaultyLog(model),
         )
         register_workload_functions(system.registry)
+        if self.obs is not None:
+            system.attach_metrics(self.obs)
         return system
 
     def _drive(self, system: RecoverableSystem) -> None:
@@ -252,9 +262,12 @@ class TortureHarness:
 
     def _accumulate(self, system: RecoverableSystem) -> None:
         for name in _COUNTERS:
-            self._totals[name] = self._totals.get(name, 0) + getattr(
-                system.stats, name
-            )
+            value = getattr(system.stats, name)
+            self._totals[name] = self._totals.get(name, 0) + value
+            # Campaign-level counters: per-run IOStats die with each
+            # system, so the shared registry carries the running sums.
+            if self.obs is not None and value:
+                self.obs.count(f"torture.{name}", value)
 
     # ------------------------------------------------------------------
     # campaigns

@@ -1,0 +1,50 @@
+"""Unified observability: one registry, spans, exportable telemetry.
+
+``repro.obs`` is the telemetry layer the rest of the system reports
+into.  A :class:`MetricsRegistry` holds counters, gauges and
+bounded-bucket histograms; a :class:`Span` times a (possibly nested)
+phase and lands its duration in a histogram keyed by the span name;
+*collectors* absorb the pre-existing counter ledgers (``IOStats``,
+engine ``stats()``) behind compatibility accessors; *sinks*
+(:class:`repro.analysis.trace.Tracer`) subscribe to the registry's
+event stream instead of being wired as a parallel mechanism.
+
+The whole layer follows the null-object pattern: every instrumented
+component holds :data:`NULL_OBS` by default, whose ``enabled`` flag is
+False and whose methods do nothing — the hot paths guard their timing
+work behind ``if obs.enabled`` so an un-instrumented system pays ~one
+attribute check (asserted by the E10 overhead lane).
+
+Exporters: :func:`render_prometheus` (text exposition format) and
+:func:`dump_jsonl` / :func:`load_jsonl` (span events + final snapshot,
+round-trippable), surfaced as ``python -m repro metrics`` and the
+``--metrics-out`` flags on ``torture`` and the E10/E11 benchmarks.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_OBS,
+    NullRegistry,
+    Span,
+)
+from repro.obs.export import (
+    dump_jsonl,
+    load_jsonl,
+    render_prometheus,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullRegistry",
+    "Span",
+    "dump_jsonl",
+    "load_jsonl",
+    "render_prometheus",
+]

@@ -1,0 +1,124 @@
+"""Exporters for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two formats:
+
+- :func:`render_prometheus` — text exposition format (``name_total``
+  counters, ``name_bucket{le="..."}`` cumulative histogram series with
+  ``_sum``/``_count``), suitable for eyeballing or scraping.
+- :func:`dump_jsonl` / :func:`load_jsonl` — one JSON object per line:
+  a ``meta`` header, one ``span`` line per completed span event, and a
+  final ``snapshot`` line.  ``load_jsonl(dump_jsonl(r, p))`` returns a
+  snapshot whose counters equal ``r.snapshot()["counters"]``.
+
+Both accept either a live registry or a snapshot dict, so
+``python -m repro metrics`` can re-render a saved JSONL artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Union
+
+__all__ = ["dump_jsonl", "load_jsonl", "render_prometheus", "sanitize_metric_name"]
+
+#: Format version stamped into the JSONL ``meta`` line.
+JSONL_FORMAT = 1
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus grammar."""
+    clean = _NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _as_snapshot(source: Union[Mapping[str, Any], Any]) -> Dict[str, Any]:
+    if isinstance(source, Mapping):
+        return dict(source)
+    return source.snapshot()
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(source: Union[Mapping[str, Any], Any],
+                      prefix: str = "repro") -> str:
+    """Render a registry (or snapshot dict) as Prometheus text format."""
+    snap = _as_snapshot(source)
+    lines: List[str] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(value)}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, hist in sorted(snap.get("histograms", {}).items()):
+        metric = f"{prefix}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        boundaries = hist.get("boundaries", [])
+        buckets = hist.get("buckets", [])
+        for boundary, bucket in zip(boundaries, buckets):
+            cumulative += bucket
+            lines.append(f'{metric}_bucket{{le="{boundary:g}"}} {cumulative}')
+        cumulative += buckets[len(boundaries)] if len(buckets) > len(boundaries) else 0
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist.get('sum', 0.0)!r}")
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def dump_jsonl(source: Union[Mapping[str, Any], Any], path: str) -> str:
+    """Write span events + a final snapshot as JSONL.  Returns ``path``.
+
+    ``source`` is a live registry (span events come from its bounded
+    deque) or a snapshot dict (no span lines).
+    """
+    if isinstance(source, Mapping):
+        spans: List[Dict[str, Any]] = []
+        snap = dict(source)
+    else:
+        spans = source.span_events()
+        snap = source.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "meta", "format": JSONL_FORMAT}) + "\n")
+        for event in spans:
+            line = {"type": "span"}
+            line.update(event)
+            handle.write(json.dumps(line, default=str) + "\n")
+        handle.write(json.dumps({"type": "snapshot", "data": snap}, default=str) + "\n")
+    return path
+
+
+def load_jsonl(path: str) -> Dict[str, Any]:
+    """Parse a :func:`dump_jsonl` artifact.
+
+    Returns ``{"meta": {...}, "spans": [...], "snapshot": {...}}``;
+    unknown line types are ignored so the format can grow.
+    """
+    meta: Dict[str, Any] = {}
+    spans: List[Dict[str, Any]] = []
+    snapshot: Dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            line = json.loads(raw)
+            kind = line.get("type")
+            if kind == "meta":
+                meta = {k: v for k, v in line.items() if k != "type"}
+            elif kind == "span":
+                spans.append({k: v for k, v in line.items() if k != "type"})
+            elif kind == "snapshot":
+                snapshot = line.get("data", {})
+    return {"meta": meta, "spans": spans, "snapshot": snapshot}

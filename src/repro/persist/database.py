@@ -45,6 +45,7 @@ from repro.core.functions import FunctionRegistry, default_registry
 from repro.core.recovery import RecoveryReport
 from repro.kernel.supervisor import RecoverySupervisor, SupervisorConfig
 from repro.kernel.system import RecoverableSystem, SystemConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.persist.file_log import FileLogManager
 from repro.persist.file_store import FileStableStore
 
@@ -59,6 +60,7 @@ class PersistentSystem:
         registry: Optional[FunctionRegistry] = None,
         domains: Iterable[Callable[[FunctionRegistry], None]] = (),
         supervisor_config: Optional[SupervisorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> RecoverableSystem:
         """Open (creating if needed) the database directory ``path``.
 
@@ -71,6 +73,10 @@ class PersistentSystem:
         system comes back HEALTHY when recovery converges, or DEGRADED
         (read-only over the surviving objects) when it cannot, with
         the structured verdict on ``system.last_failure_report``.
+
+        ``metrics`` attaches a :class:`~repro.obs.metrics.MetricsRegistry`
+        before recovery runs, so the open-time recovery's phase spans
+        and latencies are captured too.
         """
         registry = registry if registry is not None else default_registry()
         for register in domains:
@@ -80,6 +86,8 @@ class PersistentSystem:
         system = RecoverableSystem(
             config=config, registry=registry, store=store, log=log
         )
+        if metrics is not None:
+            system.attach_metrics(metrics)
         if supervisor_config is not None:
             RecoverySupervisor(system, config=supervisor_config).run()
         else:

@@ -35,7 +35,7 @@ import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import CorruptObjectError
-from repro.common.identifiers import ObjectId, StateId
+from repro.common.identifiers import NULL_SI, ObjectId, StateId
 from repro.common.retry import retry_transient
 from repro.storage.stable_store import StableStore, StoredVersion
 from repro.storage.stats import IOStats
@@ -43,6 +43,10 @@ from repro.storage.stats import IOStats
 _SUFFIX = ".obj"
 _MAGIC = b"ROBJ1\n"
 _HEADER = struct.Struct("<II")  # payload length, crc32
+_MARKER_NAME = "media_redo_pending.marker"
+#: Value field stored in the marker frame (the vSI slot carries the
+#: pending redo-start StateId).
+_MARKER_TAG = "media-redo-pending"
 
 
 def _encode(obj: ObjectId) -> str:
@@ -114,11 +118,13 @@ class FileStableStore(StableStore):
         self.root = root
         self._dir = os.path.join(root, "objects")
         self._quarantine_dir = os.path.join(root, "quarantine")
+        self._marker_path = os.path.join(root, _MARKER_NAME)
         os.makedirs(self._dir, exist_ok=True)
         #: Objects quarantined but not yet reported through scrub():
         #: obj -> reason.  Load-time detections land here.
         self._pending_quarantine: Dict[ObjectId, str] = {}
         self._load()
+        self._media_pending: Optional[StateId] = self._load_marker()
 
     def _load(self) -> None:
         for name in sorted(os.listdir(self._dir)):
@@ -146,6 +152,77 @@ class FileStableStore(StableStore):
             os.replace(source, os.path.join(self._quarantine_dir, name))
             _fsync_dir(self._quarantine_dir)
             _fsync_dir(self._dir)
+
+    # ------------------------------------------------------------------
+    # restore-pending marker (restartable media recovery across cold
+    # process restarts)
+    # ------------------------------------------------------------------
+    @property
+    def media_redo_pending(self) -> Optional[StateId]:
+        """The persisted restore-pending marker (see the base class).
+
+        Unlike the in-memory store's attribute, this survives a cold
+        process restart: a recovery that crashed between its media
+        restore and the completion of the widened redo leaves the
+        marker file on disk, so the next process's recovery re-widens
+        instead of narrowly replaying over the stale restored version.
+        """
+        return self._media_pending
+
+    @media_redo_pending.setter
+    def media_redo_pending(self, value: Optional[StateId]) -> None:
+        if value == self._media_pending:
+            return
+        self._media_pending = value
+        if value is None:
+            retry_transient(
+                self._unlink_marker,
+                stats=self.stats,
+                what="clear media-redo marker",
+            )
+        else:
+            retry_transient(
+                lambda: self._write_marker(value),
+                stats=self.stats,
+                what="write media-redo marker",
+            )
+
+    def _load_marker(self) -> Optional[StateId]:
+        if not os.path.exists(self._marker_path):
+            return None
+        with open(self._marker_path, "rb") as handle:
+            data = handle.read()
+        try:
+            tag, pending = _unframe(data, "media-redo-pending marker")
+        except CorruptObjectError:
+            # A torn marker write still proves a media restore was in
+            # flight; widen maximally (replay the whole retained log) —
+            # the safe direction.
+            self.stats.checksum_failures += 1
+            return NULL_SI + 1
+        if tag != _MARKER_TAG or not isinstance(pending, int):
+            return NULL_SI + 1
+        return pending
+
+    def _write_marker(self, pending: StateId) -> None:
+        frame = _frame(_MARKER_TAG, pending)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(frame)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self._marker_path)
+            _fsync_dir(self.root)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def _unlink_marker(self) -> None:
+        if os.path.exists(self._marker_path):
+            os.unlink(self._marker_path)
+            _fsync_dir(self.root)
 
     # ------------------------------------------------------------------
     # durable write path

@@ -44,6 +44,19 @@ class StableStore:
         Shared I/O ledger; every read and write is counted there.
     """
 
+    #: Restore-pending marker: the redo-scan start a media restore
+    #: committed to, kept on the *stable* side so it survives the
+    #: crash of the recovery that performed the restore.  A
+    #: backup-restored version is old; until one recovery completes
+    #: its widened redo over it, every recovery attempt must widen
+    #: again — otherwise a narrow restart would read the stale
+    #: version and derive garbage.  Set by the quarantine scrub,
+    #: cleared when recovery adopts its outcome.  A class-level default
+    #: (rather than an ``__init__`` assignment) so file-backed
+    #: subclasses can shadow it with a property that persists the
+    #: marker on disk for true cold restarts.
+    media_redo_pending: Optional[StateId] = None
+
     def __init__(self, stats: Optional[IOStats] = None) -> None:
         self.stats = stats if stats is not None else IOStats()
         self._versions: Dict[ObjectId, StoredVersion] = {}
@@ -51,15 +64,6 @@ class StableStore:
         #: multi-object write; a crash-injection harness raises from
         #: here to tear the flush.
         self.mid_write_hook: Optional[Callable[[ObjectId], None]] = None
-        #: Restore-pending marker: the redo-scan start a media restore
-        #: committed to, kept on the *stable* side so it survives the
-        #: crash of the recovery that performed the restore.  A
-        #: backup-restored version is old; until one recovery completes
-        #: its widened redo over it, every recovery attempt must widen
-        #: again — otherwise a narrow restart would read the stale
-        #: version and derive garbage.  Set by the quarantine scrub,
-        #: cleared when recovery adopts its outcome.
-        self.media_redo_pending: Optional[StateId] = None
 
     # ------------------------------------------------------------------
     # reads

@@ -15,11 +15,13 @@ recovery) stays on the log.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.common.errors import LogTruncationError, WALViolationError
 from repro.common.identifiers import NULL_SI, ObjectId, StateId
 from repro.common.retry import retry_transient
+from repro.obs.metrics import COUNT_BUCKETS, NULL_OBS
 from repro.core.operation import Operation
 from repro.storage.stable_store import StoredVersion
 from repro.storage.stats import IOStats
@@ -58,6 +60,12 @@ class LogManager:
         self._next_txn_id = 1
         self._protections: Dict[int, StateId] = {}
         self._next_protection_token = 1
+        #: Observability hook (null object by default; a system's
+        #: MetricsRegistry replaces it via ``attach_metrics``).
+        self.obs = NULL_OBS
+        #: append timestamps by lSI, kept only while a registry is
+        #: attached, to measure the append→stable coalescing latency.
+        self._append_times: Dict[StateId, float] = {}
 
     # ------------------------------------------------------------------
     # appending
@@ -70,6 +78,8 @@ class LogManager:
         self.stats.log_records += 1
         self.stats.log_bytes += record.record_size()
         self.stats.log_value_bytes += record.value_bytes()
+        if self.obs.enabled:
+            self._append_times[record.lsi] = time.perf_counter()
         return record.lsi
 
     def append_operation(self, op: Operation) -> StateId:
@@ -150,12 +160,31 @@ class LogManager:
         if count <= 0:
             return
         pending = self._buffer[:count]
+        obs = self.obs
+        if not obs.enabled:
+            retry_transient(
+                lambda: self._write_stable(pending),
+                stats=self.stats,
+                what="log force",
+            )
+            self.stats.log_forces += 1
+            return
+        start = time.perf_counter()
         retry_transient(
             lambda: self._write_stable(pending),
             stats=self.stats,
             what="log force",
         )
+        done = time.perf_counter()
         self.stats.log_forces += 1
+        obs.observe("wal.force", done - start)
+        obs.observe("wal.force_batch_records", len(pending), COUNT_BUCKETS)
+        for record in pending:
+            appended = self._append_times.pop(record.lsi, None)
+            if appended is not None:
+                # Group-commit coalescing latency: how long the record
+                # sat in the volatile buffer before going stable.
+                obs.observe("wal.coalesce_wait", done - appended)
 
     def _write_stable(self, pending: List[LogRecord]) -> None:
         """Append ``pending`` (a buffer prefix) to the stable log.
@@ -261,6 +290,7 @@ class LogManager:
     def crash(self) -> None:
         """Discard the volatile buffer (the stable log survives)."""
         self._buffer.clear()
+        self._append_times.clear()
 
     def __len__(self) -> int:
         return len(self._stable) + len(self._buffer)

@@ -27,6 +27,10 @@ SAMPLE = {
         "speedup": 33.3,
     },
     "kernel_end_to_end": {"1000": {"ops_per_sec": 9000.0}},
+    "recovery_telemetry": {
+        "seconds_per_attempt": 0.02,
+        "attempts": 12,
+    },
 }
 
 
@@ -34,15 +38,26 @@ class TestCollectLanes:
     def test_collects_all_measured_lanes(self):
         lanes = collect_lanes(SAMPLE)
         assert lanes == {
-            "graph_maintenance.indexed.heavy@1000": 50000.0,
-            "graph_maintenance.indexed.heavy@250": 60000.0,
-            "graph_maintenance.reference.heavy@250": 1500.0,
-            "kernel_end_to_end.1000": 9000.0,
+            "graph_maintenance.indexed.heavy@1000": (50000.0, True),
+            "graph_maintenance.indexed.heavy@250": (60000.0, True),
+            "graph_maintenance.reference.heavy@250": (1500.0, True),
+            "kernel_end_to_end.1000": (9000.0, True),
+            "recovery_telemetry.seconds_per_attempt": (0.02, False),
         }
 
     def test_extrapolated_lanes_skipped(self):
         lanes = collect_lanes(SAMPLE)
         assert "graph_maintenance.reference.heavy@1000" not in lanes
+
+    def test_seconds_per_lane_is_lower_is_better(self):
+        lanes = collect_lanes({"x": {"seconds_per_recovery": 1.5}})
+        assert lanes == {"x.seconds_per_recovery": (1.5, False)}
+
+    def test_extrapolated_seconds_lane_skipped(self):
+        lanes = collect_lanes(
+            {"x": {"seconds_per_recovery": 1.5, "extrapolated": True}}
+        )
+        assert lanes == {}
 
     def test_non_dict_input(self):
         assert collect_lanes([1, 2]) == {}
@@ -63,6 +78,16 @@ class TestCompare:
 
     def test_improvement_is_ok(self):
         _, regressions = compare({"lane": 1000.0}, {"lane": 5000.0})
+        assert regressions == []
+
+    def test_lower_is_better_rise_regresses(self):
+        base = {"t": (1.0, False)}
+        report, regressions = compare(base, {"t": (1.5, False)})
+        assert len(regressions) == 1
+        assert any("[REGRESS]" in line for line in report)
+
+    def test_lower_is_better_drop_is_ok(self):
+        _, regressions = compare({"t": (1.0, False)}, {"t": (0.4, False)})
         assert regressions == []
 
     def test_new_lane_is_baseline_only(self):
@@ -97,6 +122,14 @@ class TestMain:
         cur = self._write(tmp_path / "cur.json", regressed)
         assert main([base, cur]) == 1
         assert "[REGRESS]" in capsys.readouterr().out
+
+    def test_exit_one_on_walltime_rise(self, tmp_path, capsys):
+        slower = json.loads(json.dumps(SAMPLE))
+        slower["recovery_telemetry"]["seconds_per_attempt"] = 0.1
+        base = self._write(tmp_path / "base.json", SAMPLE)
+        cur = self._write(tmp_path / "cur.json", slower)
+        assert main([base, cur]) == 1
+        assert "seconds_per_attempt" in capsys.readouterr().out
 
     def test_threshold_flag(self, tmp_path):
         softer = json.loads(json.dumps(SAMPLE))

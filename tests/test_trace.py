@@ -23,6 +23,19 @@ class TestTracer:
             tracer.emit("e", n=index)
         assert [e.get("n") for e in tracer] == [3, 4]
 
+    def test_capacity_enforced_by_deque(self):
+        # The bound is structural (deque maxlen), not a slice in emit():
+        # overflowing by one drops exactly the oldest event.
+        from collections import deque
+
+        tracer = Tracer(capacity=3)
+        assert isinstance(tracer.events, deque)
+        assert tracer.events.maxlen == 3
+        for index in range(4):
+            tracer.emit("e", n=index)
+        assert len(tracer) == 3
+        assert [e.get("n") for e in tracer] == [1, 2, 3]
+
     def test_clear(self):
         tracer = Tracer()
         tracer.emit("a")
