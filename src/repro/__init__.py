@@ -80,8 +80,25 @@ from repro.kernel import (
     TortureHarness,
     TortureReport,
 )
+from repro.serve import (
+    BackpressureError,
+    BadRequestError,
+    DaemonClient,
+    DaemonConfig,
+    DeadlineExceededError,
+    LiveFireConfig,
+    LiveFireHarness,
+    RetryPolicy,
+    ServeDaemon,
+    ServeError,
+    ServerFailedError,
+    ServerUnavailableError,
+    ServingWatchdog,
+    ShuttingDownError,
+    WatchdogConfig,
+)
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "ObjectId",
@@ -138,5 +155,20 @@ __all__ = [
     "TortureConfig",
     "TortureHarness",
     "TortureReport",
+    "BackpressureError",
+    "BadRequestError",
+    "DaemonClient",
+    "DaemonConfig",
+    "DeadlineExceededError",
+    "LiveFireConfig",
+    "LiveFireHarness",
+    "RetryPolicy",
+    "ServeDaemon",
+    "ServeError",
+    "ServerFailedError",
+    "ServerUnavailableError",
+    "ServingWatchdog",
+    "ShuttingDownError",
+    "WatchdogConfig",
     "__version__",
 ]

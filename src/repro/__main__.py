@@ -13,6 +13,15 @@
   during restarted recoveries), then fuzz schedules spanning both
   phases, all driven through the supervisor's escalation ladder.  A
   failing run prints its structured recovery supervision report.
+* ``torture v3`` — the live-fire campaign: concurrent clients drive a
+  real served workload over sockets while the storage misbehaves, the
+  daemon is killed (in-process SIGKILL model, plus real SIGKILL/SIGTERM
+  subprocess lanes), restarted over the debris, and every
+  client-acknowledged write is audited for durability.
+* ``serve --data-dir PATH`` — run the long-lived daemon itself:
+  supervised recovery over whatever the directory contains, then
+  health-gated serving with deadlines, backpressure, a ``/metrics`` +
+  ``/healthz`` endpoint, graceful SIGTERM drain.
 * ``metrics <file.jsonl>`` — render a telemetry file exported with
   ``--metrics-out`` (or :func:`repro.obs.dump_jsonl`) as
   Prometheus-style exposition text; ``--summary`` prints the condensed
@@ -27,7 +36,12 @@ to PATH as JSONL when the campaign finishes.
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import signal
 import sys
+import tempfile
+import threading
 from typing import List, Optional
 
 from repro import RecoverableSystem, verify_recovered
@@ -43,9 +57,21 @@ from repro.domains import (
     RecoverableBTree,
     RecoverableFileSystem,
 )
+from repro.kernel.system import SystemConfig
 from repro.kernel.torture import TortureConfig, TortureHarness, TortureReport
 from repro.obs import MetricsRegistry, dump_jsonl, load_jsonl, render_prometheus
-from repro.storage.faults import FuzzRates
+from repro.persist.faulty import FaultyFileLog, FaultyFileStore
+from repro.persist.file_log import FileLogManager
+from repro.persist.file_store import FileStableStore
+from repro.serve import (
+    DaemonConfig,
+    LiveFireConfig,
+    LiveFireHarness,
+    LiveFireReport,
+    ServeDaemon,
+)
+from repro.storage.faults import FaultModel, FuzzRates
+from repro.workloads import register_workload_functions
 
 
 def demo() -> int:
@@ -181,16 +207,148 @@ def torture_v2(args: argparse.Namespace) -> int:
     return status
 
 
+def _report_livefire(report: LiveFireReport) -> int:
+    print(report.summary())
+    if report.ok:
+        return 0
+    print("\nfailing runs:")
+    for outcome in report.failures():
+        print(f"  {outcome.description}: {outcome.error}")
+        for loss in outcome.losses:
+            print(f"    lost: {loss}")
+    return 1
+
+
+def torture_v3(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry() if args.metrics_out else None
+    harness = LiveFireHarness(
+        LiveFireConfig(
+            clients=args.clients,
+            requests_per_client=args.requests,
+        ),
+        metrics=metrics,
+    )
+    print(
+        f"torture v3: {args.runs} in-process live-fire runs from seed "
+        f"{args.seed} ({args.clients} clients x {args.requests} requests)"
+    )
+    status = _report_livefire(harness.campaign(args.runs, args.seed))
+    if not args.no_subprocess:
+        print("\nsubprocess lanes: real SIGKILL, then SIGTERM drain")
+        sub = LiveFireReport(mode="subprocess")
+        for graceful in (False, True):
+            with tempfile.TemporaryDirectory(prefix="repro-v3-") as workdir:
+                sub.outcomes.append(
+                    harness.subprocess_run(
+                        workdir,
+                        seed=args.seed + int(graceful),
+                        graceful=graceful,
+                    )
+                )
+        status = _report_livefire(sub) or status
+    if metrics is not None:
+        dump_jsonl(metrics, args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
+    return status
+
+
+def serve_daemon(args: argparse.Namespace) -> int:
+    if args.fault_seed is not None:
+        model = FaultModel.fuzz(
+            args.fault_seed,
+            FuzzRates(
+                transient=args.p_transient,
+                torn=args.p_torn,
+                corrupt=args.p_corrupt,
+            ),
+        )
+        store = FaultyFileStore(args.data_dir, model)
+        log = FaultyFileLog(args.data_dir, model)
+    else:
+        store = FileStableStore(args.data_dir)
+        log = FileLogManager(args.data_dir)
+    metrics = MetricsRegistry()
+    system = RecoverableSystem(
+        SystemConfig(group_commit=args.group_commit), store=store, log=log
+    )
+    register_workload_functions(system.registry)
+    system.attach_metrics(metrics)
+    # Cold start: whatever the directory contains — a clean shutdown,
+    # SIGKILL debris — the daemon's supervised startup must recover it
+    # before the listener opens.  Entering the crashed state makes the
+    # watchdog run the full escalation ladder.
+    system.crash()
+    daemon = ServeDaemon(
+        system,
+        DaemonConfig(
+            host=args.host,
+            port=args.port,
+            http_port=None if args.no_http else args.http_port,
+            max_queue=args.max_queue,
+            default_deadline_ms=args.default_deadline_ms,
+        ),
+    )
+    daemon.start()
+    print(
+        f"serving {args.data_dir} on {args.host}:{daemon.port} "
+        f"(health: {system.health.value}"
+        + (f", http: {daemon.http_port}" if daemon.http_port else "")
+        + ")",
+        flush=True,
+    )
+    if args.port_file:
+        payload = {
+            "port": daemon.port,
+            "http_port": daemon.http_port,
+            "pid": os.getpid(),
+        }
+        tmp = args.port_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, args.port_file)
+    stop = threading.Event()
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    stop.wait()
+    print("draining for shutdown", flush=True)
+    status = daemon.stop(graceful=True)
+    if args.metrics_out:
+        dump_jsonl(metrics, args.metrics_out)
+    print(f"shutdown complete (status {status})", flush=True)
+    return status
+
+
 def metrics_view(args: argparse.Namespace) -> int:
     try:
         loaded = load_jsonl(args.path)
+        snapshot = loaded["snapshot"]
+        if not loaded["meta"] and not snapshot:
+            # Parseable JSONL, but none of it is telemetry.
+            raise ValueError("no telemetry records found")
+        rendered = (
+            obs_summary(snapshot).render()
+            if args.summary
+            else render_prometheus(snapshot)
+        )
     except OSError as exc:
         print(f"cannot read telemetry file: {exc}", file=sys.stderr)
         return 1
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        print(
+            f"{args.path} is not a telemetry JSONL file (expected the "
+            f"format written by --metrics-out): {type(exc).__name__}: "
+            f"{exc}",
+            file=sys.stderr,
+        )
+        return 1
     if args.summary:
-        obs_summary(loaded["snapshot"]).print()
-        return 0
-    print(render_prometheus(loaded["snapshot"]), end="")
+        print(rendered)
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -253,6 +411,59 @@ def _build_parser() -> argparse.ArgumentParser:
     v2.add_argument("--p-crash", type=float, default=0.01,
                     help="per-point clean-crash rate")
     v2.set_defaults(fn=torture_v2)
+
+    v3 = tsub.add_parser(
+        "v3", help="live fire: client workloads over sockets at a "
+        "served daemon under faults and kills; every acked write "
+        "audited for durability after recovery"
+    )
+    v3.add_argument("--runs", type=int, default=25,
+                    help="in-process seeded runs (default 25)")
+    v3.add_argument("--seed", type=int, default=0,
+                    help="base run seed (run i uses seed+i)")
+    v3.add_argument("--clients", type=int, default=3,
+                    help="concurrent client threads per run (default 3)")
+    v3.add_argument("--requests", type=int, default=12,
+                    help="put requests per client (default 12)")
+    v3.add_argument("--no-subprocess", action="store_true",
+                    help="skip the real-SIGKILL/SIGTERM subprocess lanes")
+    v3.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write campaign telemetry (JSONL) to PATH")
+    v3.set_defaults(fn=torture_v3)
+
+    serve = sub.add_parser(
+        "serve", help="run the serving daemon over a database directory"
+    )
+    serve.add_argument("--data-dir", required=True,
+                       help="database directory (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="request port (default 0 = ephemeral)")
+    serve.add_argument("--http-port", type=int, default=0,
+                       help="/metrics + /healthz port (default ephemeral)")
+    serve.add_argument("--no-http", action="store_true",
+                       help="disable the HTTP scrape endpoint")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write bound ports + pid to PATH as JSON "
+                       "once the listener is open")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission backlog bound (default 64)")
+    serve.add_argument("--default-deadline-ms", type=int, default=5000,
+                       help="deadline for requests that carry none")
+    serve.add_argument("--group-commit", action="store_true",
+                       help="enable group-commit WAL forcing")
+    serve.add_argument("--fault-seed", type=int, default=None,
+                       help="arm a seeded fuzz fault model over the "
+                       "on-disk store and log (live-fire testing)")
+    serve.add_argument("--p-transient", type=float, default=0.01,
+                       help="per-point transient rate (with --fault-seed)")
+    serve.add_argument("--p-torn", type=float, default=0.002,
+                       help="per-point torn-write rate (with --fault-seed)")
+    serve.add_argument("--p-corrupt", type=float, default=0.002,
+                       help="per-point corruption rate (with --fault-seed)")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="dump telemetry JSONL at graceful shutdown")
+    serve.set_defaults(fn=serve_daemon)
 
     metrics = sub.add_parser(
         "metrics", help="render an exported telemetry JSONL file"

@@ -75,6 +75,8 @@ def retry_transient(
     sleep: Callable[[float], None] = time.sleep,
     stats: Optional[object] = None,
     what: str = "storage I/O",
+    deadline: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> T:
     """Call ``fn``, retrying on :class:`TransientStorageError`.
 
@@ -85,25 +87,46 @@ def retry_transient(
     ``stats.fault_retries`` when a stats ledger is supplied.  The final
     failure propagates unchanged so the caller (or a torture harness)
     sees the exhausted-retries condition.
+
+    ``deadline`` is an **overall elapsed budget in seconds** measured
+    by the injectable ``clock`` from the moment the call starts — not a
+    per-attempt cap.  When the budget is already spent at a failure, or
+    the next backoff delay would overshoot it, the last failure
+    propagates immediately and any remaining sleep is clamped to the
+    budget.  This is what lets a request-serving retry (a daemon client,
+    the recovery supervisor) promise a caller-visible deadline: the
+    retry loop can never outlive it, however many attempts remain.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    if deadline is not None and deadline < 0.0:
+        raise ValueError("deadline must be >= 0")
+    start = clock() if deadline is not None else 0.0
     for attempt in range(attempts):
         try:
             return fn()
         except TransientStorageError:
             if attempt == attempts - 1:
                 raise
+            if deadline is not None and clock() - start >= deadline:
+                raise
             if stats is not None:
                 stats.fault_retries += 1
             if base_delay > 0.0:
-                sleep(
-                    backoff_delay(
-                        attempt,
-                        base_delay=base_delay,
-                        max_delay=max_delay,
-                        jitter=jitter,
-                        rng=rng,
-                    )
+                delay = backoff_delay(
+                    attempt,
+                    base_delay=base_delay,
+                    max_delay=max_delay,
+                    jitter=jitter,
+                    rng=rng,
                 )
+                if deadline is not None:
+                    remaining = deadline - (clock() - start)
+                    if delay >= remaining:
+                        # Sleeping would burn the whole budget; spend
+                        # what is left, then let the next failure (if
+                        # any) propagate to the caller on time.
+                        delay = max(0.0, remaining)
+                if delay > 0.0:
+                    sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -35,6 +35,7 @@ from repro.obs.export import (
     load_jsonl,
     render_prometheus,
 )
+from repro.obs.http import ObsHTTPServer
 
 __all__ = [
     "COUNT_BUCKETS",
@@ -43,6 +44,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_OBS",
     "NullRegistry",
+    "ObsHTTPServer",
     "Span",
     "dump_jsonl",
     "load_jsonl",

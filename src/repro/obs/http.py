@@ -1,0 +1,135 @@
+"""HTTP scrape endpoint: ``/metrics`` (Prometheus text) + ``/healthz``.
+
+PR 5 left the Prometheus text renderer one HTTP listener short of
+scrapeable; this module is that listener.  It is deliberately tiny — a
+:class:`ThreadingHTTPServer` with two routes — and completely decoupled
+from the serving daemon: it takes *providers* (zero-argument callables)
+so it can serve any registry/health source without holding references
+into the kernel:
+
+* ``GET /metrics`` — ``render_prometheus`` over the provided registry
+  (or snapshot dict), ``text/plain; version=0.0.4``;
+* ``GET /healthz`` — JSON ``{"health": ..., "lost_objects": [...]}``;
+  status **200** only when the system is HEALTHY, **503** otherwise, so
+  load balancers and the CI smoke job can gate on the status code
+  alone while operators read the body.
+
+Scrapes are read-only and run on their own threads; the providers must
+therefore be cheap and safe to call concurrently with the serving loop
+(registry snapshots and health-attribute reads both are).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.export import render_prometheus
+
+__all__ = ["ObsHTTPServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Providers are attached to the *server* instance by ObsHTTPServer.
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send_metrics()
+        elif path == "/healthz":
+            self._send_health()
+        else:
+            self._send(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _send_metrics(self) -> None:
+        source = self.server.metrics_provider()
+        if source is None:
+            self._send(
+                503, "text/plain; charset=utf-8", b"no metrics registry\n"
+            )
+            return
+        body = render_prometheus(source).encode("utf-8")
+        self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+
+    def _send_health(self) -> None:
+        status, payload = self.server.health_provider()
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self._send(status, "application/json", body)
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args: Any) -> None:  # noqa: D102
+        pass  # scrapes are high-frequency; stderr chatter helps nobody
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    metrics_provider: Callable[[], Optional[Any]]
+    health_provider: Callable[[], Tuple[int, Dict[str, Any]]]
+
+
+class ObsHTTPServer:
+    """Serve ``/metrics`` and ``/healthz`` for one observable system.
+
+    ``metrics_provider`` returns a live registry or snapshot dict (or
+    ``None`` when no registry is attached); ``health_provider`` returns
+    ``(http_status, json_payload)``.  ``start`` binds and spins a
+    daemon thread; ``port`` reports the bound port (useful with
+    ``port=0``).
+    """
+
+    def __init__(
+        self,
+        metrics_provider: Callable[[], Optional[Any]],
+        health_provider: Callable[[], Tuple[int, Dict[str, Any]]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._metrics_provider = metrics_provider
+        self._health_provider = health_provider
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port once started (``None`` before)."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[1]
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port  # type: ignore[return-value]
+        httpd = _Server((self._host, self._requested_port), _Handler)
+        httpd.metrics_provider = self._metrics_provider
+        httpd.health_provider = self._health_provider
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port  # type: ignore[return-value]
+
+    def stop(self) -> None:
+        """Shut the listener down and join its thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None

@@ -1,0 +1,66 @@
+"""The serving layer: an operable daemon over one recoverable system.
+
+``repro.serve`` turns the kernel + escalation-ladder machinery into a
+long-running process with an operator's contract:
+
+* :class:`ServeDaemon` — supervised startup, health-gated admission,
+  single-writer apply loop with force-before-ack durability, deadlines
+  and backpressure, graceful (SIGTERM) and abrupt (SIGKILL-model)
+  shutdown, and a ``/metrics`` + ``/healthz`` scrape endpoint;
+* :class:`DaemonClient` / :class:`RetryPolicy` — the client library:
+  jittered exponential backoff that honors server ``retry_after_ms``
+  hints under an overall elapsed deadline budget;
+* :class:`ServingWatchdog` / :class:`WatchdogConfig` — when the
+  escalation ladder runs (before the listener opens; after a mid-serve
+  crash) and how many restarts are tolerated;
+* :mod:`repro.serve.protocol` — the length-prefixed JSON framing;
+* :mod:`repro.serve.errors` — the typed rejections clients catch.
+
+The live-fire torture lane (:mod:`repro.serve.livefire`, surfaced as
+``python -m repro torture v3``) drives a client workload at a real
+daemon under storage faults and kills, asserting every acknowledged
+write survives recovery.
+"""
+
+from repro.serve.client import RETRYABLE_CODES, DaemonClient, RetryPolicy
+from repro.serve.livefire import (
+    LiveFireConfig,
+    LiveFireHarness,
+    LiveFireOutcome,
+    LiveFireReport,
+)
+from repro.serve.errors import (
+    BackpressureError,
+    BadRequestError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServeError,
+    ServerFailedError,
+    ServerUnavailableError,
+    ShuttingDownError,
+)
+from repro.serve.server import WRITE_KINDS, DaemonConfig, ServeDaemon
+from repro.serve.watchdog import ServingWatchdog, WatchdogConfig
+
+__all__ = [
+    "BackpressureError",
+    "BadRequestError",
+    "DaemonClient",
+    "DaemonConfig",
+    "DeadlineExceededError",
+    "LiveFireConfig",
+    "LiveFireHarness",
+    "LiveFireOutcome",
+    "LiveFireReport",
+    "ProtocolError",
+    "RETRYABLE_CODES",
+    "RetryPolicy",
+    "ServeDaemon",
+    "ServeError",
+    "ServerFailedError",
+    "ServerUnavailableError",
+    "ServingWatchdog",
+    "ShuttingDownError",
+    "WRITE_KINDS",
+    "WatchdogConfig",
+]

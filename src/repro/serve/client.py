@@ -1,0 +1,306 @@
+"""Daemon client: framing, typed errors, retry with jittered backoff.
+
+``DaemonClient`` speaks :mod:`repro.serve.protocol` to one daemon and
+turns structured rejections into the exceptions of
+:mod:`repro.serve.errors`.  Its retry loop is deliberately the same
+shape as the kernel's (:func:`repro.common.retry.backoff_delay` with
+full jitter under a ceiling) plus two serving-specific rules:
+
+* **server hints win** — a rejection carrying ``retry_after_ms`` is
+  backed off by at least that long (the server knows how jammed its
+  queue is; the client's exponential schedule is only a floor);
+* **deadlines are an overall budget** — ``RetryPolicy.deadline``
+  caps *total elapsed time* across connects, sends, and backoff
+  sleeps, mirroring the elapsed-budget cap ``retry_transient`` grew
+  for exactly this reason: a retried request must never outlive the
+  deadline its caller was promised.  When the budget runs out the
+  client raises :class:`~repro.serve.errors.DeadlineExceededError`
+  carrying the last server answer.
+
+Transport failures (connection refused mid-restart, a connection that
+dies when the daemon is SIGKILLed) are retried under the same policy —
+every serving operation is either idempotent (get/put/delete re-apply
+the same value) or replay-safe by the durability contract, so
+at-least-once delivery over retries composes with the server's
+force-before-ack into the exactly-once visibility the torture lane
+checks.
+
+Clock and sleep are injectable so tests drive the policy without real
+time passing.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import DegradedModeError
+from repro.common.retry import DEFAULT_MAX_DELAY, backoff_delay
+from repro.serve import protocol
+from repro.serve.errors import (
+    BackpressureError,
+    BadRequestError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServeError,
+    ServerFailedError,
+    ServerUnavailableError,
+    ShuttingDownError,
+)
+
+#: Rejection codes the retry loop may answer with another attempt.
+RETRYABLE_CODES = frozenset({"BACKPRESSURE", "UNAVAILABLE", "SHUTTING_DOWN"})
+
+_CODE_TO_ERROR = {
+    "PROTOCOL": ProtocolError,
+    "BAD_REQUEST": BadRequestError,
+    "BACKPRESSURE": BackpressureError,
+    "DEADLINE": DeadlineExceededError,
+    "UNAVAILABLE": ServerUnavailableError,
+    "SHUTTING_DOWN": ShuttingDownError,
+    "FAILED": ServerFailedError,
+}
+
+
+@dataclass
+class RetryPolicy:
+    """How hard the client tries before giving up."""
+
+    #: Total attempts (first try included).
+    attempts: int = 8
+    base_delay: float = 0.02
+    max_delay: float = DEFAULT_MAX_DELAY
+    #: Jitter fraction in [0, 1]; 1.0 = AWS-style full jitter.
+    jitter: float = 1.0
+    #: Overall elapsed budget in seconds (None = attempts budget only).
+    deadline: Optional[float] = None
+    #: Injectable time sources (tests pass stubs; nothing sleeps).
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    rng: Optional[random.Random] = None
+
+
+class DaemonClient:
+    """A retrying client for one :class:`~repro.serve.server.ServeDaemon`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        deadline_ms: Optional[int] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy if policy is not None else RetryPolicy()
+        #: Per-request deadline hint forwarded to the server (ms);
+        #: ``None`` lets the server apply its configured default.
+        self.deadline_ms = deadline_ms
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+        #: Responses the server acknowledged (``ok: true``) for write
+        #: kinds, kept for harness-side durability auditing.
+        self.acked: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.connect_timeout)
+        self._sock = sock
+        return sock
+
+    def _disconnect(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        self._disconnect()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the retry loop
+    # ------------------------------------------------------------------
+    def request(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, retrying per policy; returns the response.
+
+        Raises the typed serve error for terminal rejections, and
+        :class:`DeadlineExceededError` when the overall budget runs out
+        while the condition was still retryable.
+        """
+        policy = self.policy
+        start = policy.clock()
+        self._next_id += 1
+        message: Dict[str, Any] = {"id": self._next_id, "kind": kind}
+        if self.deadline_ms is not None and "deadline_ms" not in fields:
+            message["deadline_ms"] = self.deadline_ms
+        message.update(fields)
+        last_error: Optional[Exception] = None
+        out_of_budget = False
+        for attempt in range(policy.attempts):
+            if self._out_of_budget(start):
+                out_of_budget = True
+                break
+            try:
+                response = self._round_trip(message)
+            except (OSError, ProtocolError) as exc:
+                # Transport failure: the daemon restarted, was killed,
+                # or the stream desynced.  Reconnect and retry.
+                self._disconnect()
+                last_error = exc
+                if not self._pause(attempt, start, None):
+                    break
+                continue
+            if response.get("ok"):
+                if kind in ("put", "delete", "apply"):
+                    self.acked.append(dict(response))
+                return response
+            error = response.get("error") or {}
+            code = error.get("code", "INTERNAL")
+            retry_after_ms = error.get("retry_after_ms")
+            exc = self._as_exception(code, error.get("message", ""),
+                                     retry_after_ms)
+            if code not in RETRYABLE_CODES:
+                raise exc
+            last_error = exc
+            if not self._pause(attempt, start, retry_after_ms):
+                break
+        # Budget exhaustion is a deadline condition; attempts exhaustion
+        # re-raises the (typed, retryable) condition that kept failing.
+        if out_of_budget or self._out_of_budget(start):
+            raise DeadlineExceededError(
+                f"request {kind!r} gave up after "
+                f"{policy.clock() - start:.3f}s (deadline "
+                f"{policy.deadline}s); last error: {last_error}"
+            )
+        if isinstance(last_error, ServeError):
+            raise last_error
+        raise ServerUnavailableError(
+            f"request {kind!r} failed {policy.attempts} transport "
+            f"attempts; last error: {last_error}"
+        )
+
+    def _round_trip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        sock = self._connect()
+        protocol.send_frame(sock, message)
+        response = protocol.recv_frame(sock)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return response
+
+    def _out_of_budget(self, start: float) -> bool:
+        policy = self.policy
+        return (
+            policy.deadline is not None
+            and policy.clock() - start >= policy.deadline
+        )
+
+    def _pause(
+        self,
+        attempt: int,
+        start: float,
+        retry_after_ms: Optional[int],
+    ) -> bool:
+        """Back off before the next attempt; False = budget exhausted."""
+        policy = self.policy
+        if attempt >= policy.attempts - 1:
+            return False
+        delay = backoff_delay(
+            attempt,
+            base_delay=policy.base_delay,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            rng=policy.rng,
+        )
+        if retry_after_ms is not None:
+            # The server's hint is a floor, not a suggestion to ignore.
+            delay = max(delay, retry_after_ms / 1000.0)
+        if policy.deadline is not None:
+            remaining = policy.deadline - (policy.clock() - start)
+            if remaining <= 0.0:
+                return False
+            if delay >= remaining:
+                # Spend what is left, then let the final attempt (or
+                # the budget check) decide.
+                delay = remaining
+        if delay > 0.0:
+            policy.sleep(delay)
+        return True
+
+    @staticmethod
+    def _as_exception(
+        code: str, message: str, retry_after_ms: Optional[int]
+    ) -> Exception:
+        if code == "DEGRADED":
+            return DegradedModeError(message)
+        cls = _CODE_TO_ERROR.get(code, ServeError)
+        return cls(message, retry_after_ms=retry_after_ms)
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def get(self, obj: str) -> Tuple[Any, int]:
+        """Read ``obj``; returns ``(value, vsi)``."""
+        response = self.request("get", obj=obj)
+        return protocol.decode_value(response.get("value")), response["vsi"]
+
+    def put(self, obj: str, value: Any, **fields: Any) -> int:
+        """Durably write ``obj``; returns the record's lSI."""
+        response = self.request(
+            "put", obj=obj, value=protocol.encode_value(value), **fields
+        )
+        return response["lsi"]
+
+    def delete(self, obj: str, **fields: Any) -> int:
+        """Durably delete ``obj``; returns the record's lSI."""
+        return self.request("delete", obj=obj, **fields)["lsi"]
+
+    def apply(
+        self,
+        fn: str,
+        reads: Any,
+        writes: Any,
+        params: Any = (),
+        name: Optional[str] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Submit a logical operation; returns the full response."""
+        return self.request(
+            "apply",
+            fn=fn,
+            reads=sorted(reads),
+            writes=sorted(writes),
+            params=[protocol.encode_value(p) for p in params],
+            name=name,
+            **fields,
+        )

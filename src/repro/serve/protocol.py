@@ -1,0 +1,170 @@
+"""Wire protocol: length-prefixed JSON frames over a stream socket.
+
+One frame is a 4-byte little-endian unsigned length followed by that
+many bytes of UTF-8 JSON.  Requests and responses are JSON objects:
+
+Request::
+
+    {"id": 7, "kind": "put", "obj": "user:42",
+     "value": {"__bytes__": "<base64>"}, "deadline_ms": 250}
+
+Response (success)::
+
+    {"id": 7, "ok": true, "lsi": 19, "health": "healthy", ...}
+
+Response (rejection)::
+
+    {"id": 7, "ok": false,
+     "error": {"code": "BACKPRESSURE",
+               "message": "admission queue full (64 waiting)",
+               "retry_after_ms": 40},
+     "health": "recovering"}
+
+Byte values travel as ``{"__bytes__": "<base64>"}`` envelopes (JSON has
+no bytes type); the tombstone of a deleted object never travels — a
+deleted or absent object reads as ``value: null``.  Every response
+carries the server's current :class:`~repro.kernel.system.SystemHealth`
+value so clients observe health transitions without polling
+``/healthz``.
+
+The framing is symmetric (client and server use the same
+:func:`send_frame` / :func:`recv_frame`), and deliberately boring: the
+interesting machinery — admission, deadlines, the escalation ladder —
+lives above it.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.serve.errors import ProtocolError
+
+#: Frame header: payload length, little-endian u32.
+_LEN = struct.Struct("<I")
+
+#: Refuse frames above this size (16 MiB): a corrupt length prefix must
+#: not make a reader allocate gigabytes.
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Request kinds the server understands.
+REQUEST_KINDS = frozenset(
+    {"ping", "get", "put", "delete", "apply", "health", "stats"}
+)
+
+#: Stable rejection codes (mirrored by :mod:`repro.serve.errors`).
+ERROR_CODES = frozenset(
+    {
+        "PROTOCOL",
+        "BAD_REQUEST",
+        "BACKPRESSURE",
+        "DEADLINE",
+        "UNAVAILABLE",
+        "SHUTTING_DOWN",
+        "DEGRADED",
+        "FAILED",
+        "INTERNAL",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# value envelopes
+# ----------------------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """JSON-encode a stored value (bytes ride in a base64 envelope)."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": base64.b64encode(bytes(value)).decode("ascii")}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, dict) and set(value) == {"__bytes__"}:
+        try:
+            return base64.b64decode(value["__bytes__"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad bytes envelope: {exc}") from None
+    return value
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize ``message`` and write one frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes (> MAX_FRAME)"
+        )
+    payload = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# message constructors
+# ----------------------------------------------------------------------
+def ok_response(request_id: Any, health: str, **fields: Any) -> Dict[str, Any]:
+    """A success response echoing the request id."""
+    response: Dict[str, Any] = {"id": request_id, "ok": True, "health": health}
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request_id: Any,
+    code: str,
+    message: str,
+    health: str,
+    retry_after_ms: Optional[int] = None,
+) -> Dict[str, Any]:
+    """A structured rejection."""
+    assert code in ERROR_CODES, code
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = int(retry_after_ms)
+    return {"id": request_id, "ok": False, "health": health, "error": error}

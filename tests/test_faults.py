@@ -125,6 +125,110 @@ class TestBackoffDelay:
         assert retry_transient(flaky, sleep=boom) == "ok"
 
 
+class TestRetryDeadline:
+    """The overall elapsed budget on retry_transient (daemon deadlines)."""
+
+    @staticmethod
+    def _clocked():
+        state = {"now": 0.0}
+
+        def clock():
+            return state["now"]
+
+        def sleep(seconds):
+            state["now"] += seconds
+
+        return state, clock, sleep
+
+    def test_spent_budget_propagates_last_failure(self):
+        state, clock, sleep = self._clocked()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            state["now"] += 0.6  # each attempt costs 0.6s of clock
+            raise TransientStorageError("flake")
+
+        with pytest.raises(TransientStorageError):
+            retry_transient(
+                flaky, attempts=10, deadline=1.0, clock=clock, sleep=sleep
+            )
+        # Attempt 1 ends at 0.6s (under budget, retry), attempt 2 ends
+        # at 1.2s (budget spent, propagate) — not all ten attempts.
+        assert calls["n"] == 2
+
+    def test_sleep_clamped_to_remaining_budget(self):
+        state, clock, sleep = self._clocked()
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise TransientStorageError("flake")
+
+        with pytest.raises(TransientStorageError):
+            retry_transient(
+                flaky,
+                attempts=4,
+                base_delay=0.8,
+                deadline=1.0,
+                clock=clock,
+                sleep=lambda s: (slept.append(s), sleep(s)),
+            )
+        # First backoff 0.8s fits; second (1.6s → clamped 0.2s) spends
+        # the rest; the third failure then propagates on time.
+        assert slept == [0.8, pytest.approx(0.2)]
+        assert calls["n"] == 3
+        assert state["now"] == pytest.approx(1.0)
+
+    def test_success_within_budget_unaffected(self):
+        state, clock, sleep = self._clocked()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientStorageError("flake")
+            return "ok"
+
+        assert (
+            retry_transient(
+                flaky, deadline=5.0, base_delay=0.1,
+                clock=clock, sleep=sleep,
+            )
+            == "ok"
+        )
+        assert state["now"] == pytest.approx(0.3)
+
+    def test_zero_deadline_allows_single_attempt(self):
+        # A zero budget degenerates to attempts=1 semantics: the first
+        # try runs, and any failure propagates without a retry.
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise TransientStorageError("flake")
+
+        with pytest.raises(TransientStorageError):
+            retry_transient(flaky, attempts=5, deadline=0.0)
+        assert calls["n"] == 1
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            retry_transient(lambda: "ok", deadline=-1.0)
+
+    def test_no_deadline_keeps_attempts_budget(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            raise TransientStorageError("flake")
+
+        with pytest.raises(TransientStorageError):
+            retry_transient(flaky, attempts=4)
+        assert calls["n"] == 4
+
+
 class TestFaultPhases:
     def test_phases_number_independently(self):
         model = FaultModel()

@@ -172,6 +172,79 @@ class TestFaultyGroupCommit:
         assert log.stats.log_force_saves == 1
 
 
+@pytest.mark.parametrize("group_commit", [False, True])
+class TestShutdownRacesGroupCommit:
+    """SIGTERM-equivalent shutdown racing the group-commit buffer.
+
+    Graceful daemon shutdown ends with a full ``log.force()`` so that
+    records still riding in the group-commit buffer reach the device
+    before the process exits.  These tests pin both halves of that
+    contract: the final force drains the buffer on the clean path, and
+    when the force itself tears (the device dies mid-drain), recovery
+    still honors every *acked* write — the torn tail only ever costs
+    unacknowledged ride-alongs.
+    """
+
+    def _served(self, group_commit, log=None):
+        from repro.serve import DaemonClient, DaemonConfig, RetryPolicy, ServeDaemon
+
+        system = RecoverableSystem(
+            SystemConfig(group_commit=group_commit), log=log
+        )
+        daemon = ServeDaemon(
+            system, DaemonConfig(port=0, http_port=None)
+        ).start()
+        client = DaemonClient(
+            "127.0.0.1", daemon.port, policy=RetryPolicy(attempts=1)
+        )
+        return system, daemon, client
+
+    def test_graceful_stop_drains_ride_alongs(self, group_commit):
+        system, daemon, client = self._served(group_commit)
+        acked = [(f"o{i}", client.put(f"o{i}", b"acked")) for i in range(3)]
+        # Buffered, never-forced records at shutdown time: appended via
+        # the kernel directly while the daemon's queue is idle, the way
+        # a crashed-out request or background writer would leave them.
+        late_op = physical("late", b"tail", name="late")
+        system.execute(late_op)
+        late = late_op.lsi
+        assert late in system.log.buffered_lsis()
+        assert daemon.stop(graceful=True) == 0
+        # The shutdown force drained everything, acked or not.
+        assert system.log.buffered_lsis() == []
+        for _obj, lsi in acked:
+            assert system.log.is_stable(lsi)
+        assert system.log.is_stable(late)
+
+    def test_torn_shutdown_force_loses_no_acked_write(self, group_commit):
+        model = FaultModel(
+            [FaultSpec(0, FaultKind.TORN)], armed=False
+        )
+        log = FaultyLog(model)
+        system, daemon, client = self._served(group_commit, log=log)
+        acked = [
+            (f"o{i}", b"acked", client.put(f"o{i}", b"acked"))
+            for i in range(3)
+        ]
+        client.close()
+        system.execute(physical("late", b"tail", name="late"))
+        # Arm the model now: the next device write is the shutdown
+        # force, and it tears.
+        model.armed = True
+        assert daemon.stop(graceful=True) == 1
+        # The torn tail is a recoverable condition, not a loss: after
+        # crash + recovery every acked write is visible at (or past)
+        # its acked lSI.
+        system.crash()
+        system.recover()
+        for obj, value, lsi in acked:
+            assert system.read(obj) == value
+            assert system.cache.vsi_of(obj) >= lsi
+        # The unacked ride-along died in the torn suffix — permitted,
+        # because no client was ever told it was durable.
+        assert system.read("late") is None
+
+
 def _e8a_system(group_commit: bool, seed: int) -> RecoverableSystem:
     rng = random.Random(seed)
     system = RecoverableSystem(SystemConfig(group_commit=group_commit))

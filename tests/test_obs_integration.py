@@ -255,6 +255,50 @@ class TestMetricsCli:
         err = capsys.readouterr().err
         assert "cannot read telemetry file" in err
 
+    def test_garbage_file_is_a_clean_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not telemetry\n{nor: this}\n")
+        assert main(["metrics", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "not a telemetry JSONL file" in err
+
+    def test_wrong_schema_json_is_a_clean_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        # Well-formed JSONL, but not the dump_jsonl format.
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"some": "record"}\n{"other": 2}\n')
+        assert main(["metrics", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "not a telemetry JSONL file" in err
+
+    def test_directory_path_is_a_clean_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["metrics", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read telemetry file" in err
+
+    def test_bad_file_errors_never_traceback(self, tmp_path):
+        # The CLI promise: argument problems exit 1 via stderr, they
+        # never escape as exceptions.
+        import subprocess
+        import sys
+
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("x\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "metrics", str(path)],
+            capture_output=True,
+            text=True,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+        )
+        assert proc.returncode == 1
+        assert "Traceback" not in proc.stderr
+        assert "not a telemetry JSONL file" in proc.stderr
+
     def test_torture_metrics_out_writes_artifact(self, tmp_path, capsys):
         from repro.__main__ import main
         from repro.obs import load_jsonl

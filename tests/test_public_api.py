@@ -1,0 +1,47 @@
+"""The public surface: ``__all__`` stays resolvable and complete."""
+
+from __future__ import annotations
+
+import repro
+import repro.serve as serve
+
+
+class TestTopLevel:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_serving_surface_exported(self):
+        # The operable-daemon surface is part of the package API.
+        for name in (
+            "ServeDaemon", "DaemonClient", "DaemonConfig", "RetryPolicy",
+            "ServingWatchdog", "WatchdogConfig",
+            "LiveFireConfig", "LiveFireHarness",
+            "ServeError", "BackpressureError", "DeadlineExceededError",
+            "ServerUnavailableError", "ShuttingDownError",
+            "ServerFailedError", "BadRequestError",
+            "SystemHealth", "DegradedModeError",
+        ):
+            assert name in repro.__all__, name
+
+    def test_version_is_pep440ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestServeModule:
+    def test_all_names_resolve(self):
+        for name in serve.__all__:
+            assert getattr(serve, name, None) is not None, name
+
+    def test_errors_all_carry_codes(self):
+        from repro.serve import errors
+        from repro.serve.protocol import ERROR_CODES
+
+        for name in serve.__all__:
+            obj = getattr(serve, name)
+            if isinstance(obj, type) and issubclass(obj, errors.ServeError):
+                assert obj.code in ERROR_CODES, name

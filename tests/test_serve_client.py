@@ -1,0 +1,219 @@
+"""Client retry policy: backoff, retry-after hints, deadline budgets.
+
+These tests drive :class:`DaemonClient` without sockets: the round
+trip is stubbed with scripted responses and the policy gets fake
+sleep/clock hooks, so every retry decision is deterministic and no
+real time passes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import DegradedModeError
+from repro.serve.client import DaemonClient, RetryPolicy
+from repro.serve.errors import (
+    BackpressureError,
+    BadRequestError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServerFailedError,
+    ServerUnavailableError,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def scripted(client: DaemonClient, responses):
+    """Replace the network round trip with a scripted response list.
+
+    Each entry is a response dict or an exception instance to raise.
+    """
+    queue = list(responses)
+
+    def _round_trip(message):
+        assert queue, "client sent more attempts than scripted"
+        entry = queue.pop(0)
+        if isinstance(entry, Exception):
+            raise entry
+        response = dict(entry)
+        response.setdefault("id", message["id"])
+        return response
+
+    client._round_trip = _round_trip
+    client._disconnect = lambda: None
+    return queue
+
+
+def make_client(responses, **policy_kw):
+    clock = FakeClock()
+    policy_kw.setdefault("base_delay", 0.01)
+    policy_kw.setdefault("jitter", 0.0)
+    policy = RetryPolicy(
+        sleep=clock.sleep, clock=clock, rng=random.Random(0), **policy_kw
+    )
+    client = DaemonClient("127.0.0.1", 1, policy=policy)
+    remaining = scripted(client, responses)
+    return client, clock, remaining
+
+
+def reject(code, retry_after_ms=None, health="healthy"):
+    error = {"code": code, "message": f"scripted {code}"}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    return {"ok": False, "health": health, "error": error}
+
+
+OK = {"ok": True, "health": "healthy", "lsi": 5}
+
+
+class TestRetryLoop:
+    def test_succeeds_first_try(self):
+        client, clock, _ = make_client([OK])
+        response = client.request("put", obj="x", value="v")
+        assert response["lsi"] == 5
+        assert clock.sleeps == []
+
+    def test_retries_backpressure_until_ok(self):
+        client, clock, _ = make_client(
+            [reject("BACKPRESSURE"), reject("BACKPRESSURE"), OK]
+        )
+        assert client.request("put", obj="x", value="v")["ok"]
+        # Exponential: base, 2*base.
+        assert clock.sleeps == [0.01, 0.02]
+
+    def test_retry_after_hint_is_a_floor(self):
+        client, clock, _ = make_client(
+            [reject("BACKPRESSURE", retry_after_ms=500), OK]
+        )
+        client.request("put", obj="x", value="v")
+        assert clock.sleeps == [0.5]
+
+    def test_larger_backoff_wins_over_smaller_hint(self):
+        client, clock, _ = make_client(
+            [reject("UNAVAILABLE", retry_after_ms=1), OK],
+            base_delay=0.2,
+        )
+        client.request("put", obj="x", value="v")
+        assert clock.sleeps == [0.2]
+
+    def test_attempts_exhaustion_reraises_typed_error(self):
+        client, _, _ = make_client(
+            [reject("BACKPRESSURE")] * 3, attempts=3
+        )
+        with pytest.raises(BackpressureError):
+            client.request("put", obj="x", value="v")
+
+    def test_transport_errors_retried_then_wrapped(self):
+        client, _, _ = make_client(
+            [OSError("refused")] * 2, attempts=2
+        )
+        with pytest.raises(ServerUnavailableError):
+            client.request("ping")
+
+    def test_transport_error_then_recovery(self):
+        client, _, _ = make_client(
+            [OSError("refused"), ProtocolError("eof mid-request"), OK]
+        )
+        assert client.request("get", obj="x")["ok"]
+
+    def test_acked_writes_recorded(self):
+        client, _, _ = make_client([OK, OK])
+        client.request("put", obj="x", value="v")
+        client.request("get", obj="x")
+        assert len(client.acked) == 1
+        assert client.acked[0]["lsi"] == 5
+
+
+class TestTerminalErrors:
+    def test_bad_request_raises_immediately(self):
+        client, clock, remaining = make_client(
+            [reject("BAD_REQUEST"), OK]
+        )
+        with pytest.raises(BadRequestError):
+            client.request("put", obj="x", value="v")
+        assert clock.sleeps == []
+        assert len(remaining) == 1  # never consumed the second response
+
+    def test_degraded_maps_to_degraded_mode_error(self):
+        client, _, _ = make_client([reject("DEGRADED", health="degraded")])
+        with pytest.raises(DegradedModeError):
+            client.request("put", obj="x", value="v")
+
+    def test_failed_maps_to_server_failed(self):
+        client, _, _ = make_client([reject("FAILED", health="failed")])
+        with pytest.raises(ServerFailedError):
+            client.request("get", obj="x")
+
+    def test_server_deadline_maps_to_deadline_error(self):
+        client, _, _ = make_client([reject("DEADLINE")])
+        with pytest.raises(DeadlineExceededError):
+            client.request("put", obj="x", value="v")
+
+
+class TestDeadlineBudget:
+    def test_budget_exhaustion_raises_deadline_error(self):
+        # Every answer is retryable, but the budget runs out first.
+        client, clock, _ = make_client(
+            [reject("BACKPRESSURE", retry_after_ms=600)] * 10,
+            attempts=10,
+            deadline=1.0,
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.request("put", obj="x", value="v")
+        # The budget bounds total elapsed time: sleeps never exceed it.
+        assert sum(clock.sleeps) <= 1.0 + 1e-9
+
+    def test_sleep_clamped_to_remaining_budget(self):
+        client, clock, _ = make_client(
+            [reject("BACKPRESSURE", retry_after_ms=800)] * 3,
+            attempts=3,
+            deadline=1.0,
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.request("put", obj="x", value="v")
+        assert clock.sleeps == [0.8, pytest.approx(0.2)]
+
+    def test_no_deadline_means_attempts_budget_only(self):
+        client, clock, _ = make_client(
+            [reject("BACKPRESSURE", retry_after_ms=60_000), OK]
+        )
+        client.request("put", obj="x", value="v")
+        assert clock.sleeps == [60.0]
+
+    def test_deadline_forwarded_to_server(self):
+        captured = {}
+
+        def _round_trip(message):
+            captured.update(message)
+            return {"id": message["id"], "ok": True, "health": "healthy"}
+
+        client = DaemonClient("127.0.0.1", 1, deadline_ms=250)
+        client._round_trip = _round_trip
+        client.request("get", obj="x")
+        assert captured["deadline_ms"] == 250
+
+    def test_explicit_deadline_overrides_default(self):
+        captured = {}
+
+        def _round_trip(message):
+            captured.update(message)
+            return {"id": message["id"], "ok": True, "health": "healthy"}
+
+        client = DaemonClient("127.0.0.1", 1, deadline_ms=250)
+        client._round_trip = _round_trip
+        client.request("get", obj="x", deadline_ms=75)
+        assert captured["deadline_ms"] == 75
