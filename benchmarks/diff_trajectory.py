@@ -5,10 +5,13 @@ trajectory against the committed one::
 
     python benchmarks/diff_trajectory.py BASELINE CURRENT [--threshold 0.2]
 
-A *lane* is either a dict carrying an ``ops_per_sec`` value (higher is
-better) or any numeric ``seconds_per_*`` entry (lower is better — the
-recovery-attempt wall-time lanes E11 records), addressed by its dotted
-path (e.g. ``graph_maintenance.indexed.75% logical@1000`` or
+A *lane* is a dict carrying an ``ops_per_sec`` value (higher is
+better), any numeric ``acked_per_s*`` entry (higher is better — the
+serving-throughput lanes E12/E13 record), or any numeric
+``seconds_per_*`` entry (lower is better — the recovery-attempt
+wall-time lanes E11 records), addressed by its dotted path (e.g.
+``graph_maintenance.indexed.75% logical@1000``,
+``serving_throughput.acked_per_s`` or
 ``recovery_telemetry.seconds_per_attempt``).  Lanes marked
 ``"extrapolated": true`` were never measured and are skipped.  Only
 lanes present in **both** files are compared — the smoke run measures a
@@ -40,8 +43,9 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
     """All dotted-path lanes, skipping extrapolated entries.
 
     ``ops_per_sec`` dicts yield higher-is-better lanes at the dict's
-    own path; numeric ``seconds_per_*`` keys yield lower-is-better
-    lanes at ``<path>.<key>``.
+    own path; numeric ``acked_per_s*`` keys yield higher-is-better
+    lanes and ``seconds_per_*`` keys lower-is-better lanes, both at
+    ``<path>.<key>``.
     """
     lanes: Dict[str, Lane] = {}
     if not isinstance(data, dict):
@@ -53,12 +57,17 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
         if isinstance(value, dict):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes.update(collect_lanes(value, path))
-        elif (
-            str(key).startswith("seconds_per_")
-            and isinstance(value, (int, float))
-            and not isinstance(value, bool)
-            and not data.get("extrapolated")
+            continue
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or data.get("extrapolated")
         ):
+            continue
+        if str(key).startswith("acked_per_s"):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            lanes[path] = (float(value), True)
+        elif str(key).startswith("seconds_per_"):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), False)
     return lanes

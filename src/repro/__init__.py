@@ -94,11 +94,21 @@ from repro.serve import (
     ServerFailedError,
     ServerUnavailableError,
     ServingWatchdog,
+    ShardLiveFireConfig,
+    ShardLiveFireHarness,
+    ShardedDaemonConfig,
+    ShardedServeDaemon,
     ShuttingDownError,
     WatchdogConfig,
 )
+from repro.shard import (
+    CrossShardError,
+    FenceAudit,
+    ShardRouter,
+    ShardedSystem,
+)
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "ObjectId",
@@ -168,6 +178,14 @@ __all__ = [
     "ServerFailedError",
     "ServerUnavailableError",
     "ServingWatchdog",
+    "ShardLiveFireConfig",
+    "ShardLiveFireHarness",
+    "ShardRouter",
+    "ShardedDaemonConfig",
+    "ShardedServeDaemon",
+    "ShardedSystem",
+    "CrossShardError",
+    "FenceAudit",
     "ShuttingDownError",
     "WatchdogConfig",
     "__version__",

@@ -18,10 +18,18 @@
   daemon is killed (in-process SIGKILL model, plus real SIGKILL/SIGTERM
   subprocess lanes), restarted over the debris, and every
   client-acknowledged write is audited for durability.
+* ``torture v4`` — the sharded live-fire campaign: one shard worker of
+  a multi-shard daemon is killed mid-serve; surviving shards must keep
+  acknowledging writes during the outage, the victim is revived through
+  supervised recovery, and every acked write of the whole run (the
+  victim's included) is audited for durability.
 * ``serve --data-dir PATH`` — run the long-lived daemon itself:
   supervised recovery over whatever the directory contains, then
   health-gated serving with deadlines, backpressure, a ``/metrics`` +
-  ``/healthz`` endpoint, graceful SIGTERM drain.
+  ``/healthz`` endpoint, graceful SIGTERM drain.  ``--shards N`` serves
+  a sharded topology: N recovery domains with per-shard WAL streams
+  under ``data-dir/shard-K``, per-shard admission gates and watchdogs,
+  and fence-protocol cross-shard operations.
 * ``metrics <file.jsonl>`` — render a telemetry file exported with
   ``--metrics-out`` (or :func:`repro.obs.dump_jsonl`) as
   Prometheus-style exposition text; ``--summary`` prints the condensed
@@ -69,7 +77,12 @@ from repro.serve import (
     LiveFireHarness,
     LiveFireReport,
     ServeDaemon,
+    ShardedDaemonConfig,
+    ShardedServeDaemon,
+    ShardLiveFireConfig,
+    ShardLiveFireHarness,
 )
+from repro.shard import ShardedSystem
 from repro.storage.faults import FaultModel, FuzzRates
 from repro.workloads import register_workload_functions
 
@@ -252,7 +265,99 @@ def torture_v3(args: argparse.Namespace) -> int:
     return status
 
 
+def _shard_components(args: argparse.Namespace, index: int):
+    """Store + log for one shard, under ``data-dir/shard-<index>``."""
+    shard_dir = os.path.join(args.data_dir, f"shard-{index}")
+    if args.fault_seed is not None:
+        model = FaultModel.fuzz(
+            args.fault_seed + index,
+            FuzzRates(
+                transient=args.p_transient,
+                torn=args.p_torn,
+                corrupt=args.p_corrupt,
+            ),
+        )
+        return FaultyFileStore(shard_dir, model), FaultyFileLog(
+            shard_dir, model
+        )
+    return FileStableStore(shard_dir), FileLogManager(shard_dir)
+
+
+def torture_v4(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry() if args.metrics_out else None
+    harness = ShardLiveFireHarness(
+        ShardLiveFireConfig(
+            shards=args.shards,
+            clients=args.clients,
+            requests_per_client=args.requests,
+        ),
+        metrics=metrics,
+    )
+    print(
+        f"torture v4: {args.runs} shard-kill runs from seed {args.seed} "
+        f"({args.shards} shards, {args.clients} clients x "
+        f"{args.requests} requests)"
+    )
+    report = harness.campaign(args.runs, args.seed)
+    print(report.summary())
+    status = 0
+    if not report.ok:
+        print("\nfailing runs:")
+        for outcome in report.failures():
+            print(f"  {outcome.description}: {outcome.error}")
+            for loss in outcome.losses:
+                print(f"    lost: {loss}")
+        status = 1
+    if metrics is not None:
+        dump_jsonl(metrics, args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
+    return status
+
+
 def serve_daemon(args: argparse.Namespace) -> int:
+    system_config = SystemConfig(
+        group_commit=args.group_commit,
+        group_commit_interval_ms=args.group_commit_interval_ms,
+    )
+    metrics = MetricsRegistry()
+    if args.shards > 1:
+        # Sharded topology: each shard recovers its own directory (its
+        # own WAL stream) independently; the daemon gates admission and
+        # supervises per shard.
+        stores_logs = [
+            _shard_components(args, index) for index in range(args.shards)
+        ]
+        sharded = ShardedSystem.build(
+            args.shards,
+            config_factory=lambda index: system_config,
+            store_factory=lambda index: stores_logs[index][0],
+            log_factory=lambda index: stores_logs[index][1],
+        )
+        register_workload_functions(sharded.registry)
+        for shard_system in sharded.systems:
+            # Cold start per shard (see the single-kernel comment).
+            shard_system.crash()
+        daemon = ShardedServeDaemon(
+            sharded,
+            ShardedDaemonConfig(
+                host=args.host,
+                port=args.port,
+                http_port=None if args.no_http else args.http_port,
+                max_queue=args.max_queue,
+                default_deadline_ms=args.default_deadline_ms,
+                allow_chaos=args.allow_chaos,
+            ),
+        )
+        daemon.start()
+        health = daemon.aggregate_health()
+        print(
+            f"serving {args.data_dir} on {args.host}:{daemon.port} "
+            f"({args.shards} shards, health: {health.value}"
+            + (f", http: {daemon.http_port}" if daemon.http_port else "")
+            + ")",
+            flush=True,
+        )
+        return _serve_wait(daemon, args, metrics=daemon.obs)
     if args.fault_seed is not None:
         model = FaultModel.fuzz(
             args.fault_seed,
@@ -267,10 +372,7 @@ def serve_daemon(args: argparse.Namespace) -> int:
     else:
         store = FileStableStore(args.data_dir)
         log = FileLogManager(args.data_dir)
-    metrics = MetricsRegistry()
-    system = RecoverableSystem(
-        SystemConfig(group_commit=args.group_commit), store=store, log=log
-    )
+    system = RecoverableSystem(system_config, store=store, log=log)
     register_workload_functions(system.registry)
     system.attach_metrics(metrics)
     # Cold start: whatever the directory contains — a clean shutdown,
@@ -296,6 +398,10 @@ def serve_daemon(args: argparse.Namespace) -> int:
         + ")",
         flush=True,
     )
+    return _serve_wait(daemon, args, metrics=metrics)
+
+
+def _serve_wait(daemon, args: argparse.Namespace, metrics) -> int:
     if args.port_file:
         payload = {
             "port": daemon.port,
@@ -316,7 +422,7 @@ def serve_daemon(args: argparse.Namespace) -> int:
     stop.wait()
     print("draining for shutdown", flush=True)
     status = daemon.stop(graceful=True)
-    if args.metrics_out:
+    if args.metrics_out and metrics is not None:
         dump_jsonl(metrics, args.metrics_out)
     print(f"shutdown complete (status {status})", flush=True)
     return status
@@ -431,6 +537,25 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="write campaign telemetry (JSONL) to PATH")
     v3.set_defaults(fn=torture_v3)
 
+    v4 = tsub.add_parser(
+        "v4", help="sharded live fire: kill one shard worker mid-serve; "
+        "surviving shards must keep acking, and every acked write "
+        "(the victim's included) must survive its recovery"
+    )
+    v4.add_argument("--runs", type=int, default=25,
+                    help="seeded runs (default 25)")
+    v4.add_argument("--seed", type=int, default=0,
+                    help="base run seed (run i uses seed+i)")
+    v4.add_argument("--shards", type=int, default=2,
+                    help="recovery domains per run (default 2)")
+    v4.add_argument("--clients", type=int, default=3,
+                    help="concurrent client threads per run (default 3)")
+    v4.add_argument("--requests", type=int, default=14,
+                    help="requests per client (default 14)")
+    v4.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write campaign telemetry (JSONL) to PATH")
+    v4.set_defaults(fn=torture_v4)
+
     serve = sub.add_parser(
         "serve", help="run the serving daemon over a database directory"
     )
@@ -452,6 +577,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="deadline for requests that carry none")
     serve.add_argument("--group-commit", action="store_true",
                        help="enable group-commit WAL forcing")
+    serve.add_argument("--group-commit-interval-ms", type=float,
+                       default=None, metavar="MS",
+                       help="also force the WAL on a timer every MS "
+                       "milliseconds (implies --group-commit)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="recovery domains; > 1 serves a sharded "
+                       "topology with per-shard WALs under "
+                       "data-dir/shard-K (default 1)")
+    serve.add_argument("--allow-chaos", action="store_true",
+                       help="accept kill_shard/revive_shard chaos "
+                       "requests (sharded topologies; harness/CI only)")
     serve.add_argument("--fault-seed", type=int, default=None,
                        help="arm a seeded fuzz fault model over the "
                        "on-disk store and log (live-fire testing)")

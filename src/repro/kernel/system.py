@@ -87,6 +87,11 @@ class SystemConfig:
     #: to the whole log buffer so adjacent force requests in an install
     #: batch share one stable-log write (see LogManager.force_through).
     group_commit: bool = False
+    #: Timer-driven group commit: force the log buffer every this many
+    #: milliseconds as well as on piggyback requests, coalescing forces
+    #: *across* install batches.  Implies :attr:`group_commit`.  The
+    #: timer thread starts with the system and stops at :meth:`close`.
+    group_commit_interval_ms: Optional[float] = None
 
     def fresh_cache_config(self) -> CacheConfig:
         """Cache config for the post-recovery cache manager."""
@@ -125,6 +130,13 @@ class RecoverableSystem:
         self.log = log if log is not None else LogManager(self.stats)
         if self.config.group_commit:
             self.log.group_commit = True
+        if self.config.group_commit_interval_ms is not None:
+            # A timer force always takes the whole buffer, so the widened
+            # group-commit accounting is the accurate one.
+            self.log.group_commit = True
+            self.log.start_group_commit_timer(
+                self.config.group_commit_interval_ms / 1000.0
+            )
         self.cache = CacheManager(
             self.store, self.log, self.registry, self.config.cache, self.stats
         )
@@ -455,6 +467,16 @@ class RecoverableSystem:
     def mark_failed(self) -> None:
         """Declare recovery non-convergent: every access now raises."""
         self.health = SystemHealth.FAILED
+
+    def close(self) -> None:
+        """Release background resources (the group-commit timer).
+
+        Idempotent; the system remains usable afterwards (forces fall
+        back to the piggyback path).  Long-lived owners — the serving
+        daemon, benchmark harnesses — call this on shutdown so the
+        timer thread never outlives its system.
+        """
+        self.log.stop_group_commit_timer()
 
     # ------------------------------------------------------------------
     # verification support

@@ -20,6 +20,14 @@ The live-fire torture lane (:mod:`repro.serve.livefire`, surfaced as
 ``python -m repro torture v3``) drives a client workload at a real
 daemon under storage faults and kills, asserting every acknowledged
 write survives recovery.
+
+Sharded serving (:mod:`repro.serve.sharded`, ``python -m repro serve
+--shards N``) fronts N independent recovery domains —
+:class:`ShardedServeDaemon` with one apply thread, WAL stream, health
+gate and watchdog per shard, a fence-protocol rendezvous for
+cross-shard operations, and chaos endpoints used by the torture v4
+lane (:mod:`repro.serve.livefire_shard`) to kill one shard and prove
+the others keep serving.
 """
 
 from repro.serve.client import RETRYABLE_CODES, DaemonClient, RetryPolicy
@@ -39,7 +47,14 @@ from repro.serve.errors import (
     ServerUnavailableError,
     ShuttingDownError,
 )
+from repro.serve.livefire_shard import (
+    ShardLiveFireConfig,
+    ShardLiveFireHarness,
+    ShardLiveFireOutcome,
+    ShardLiveFireReport,
+)
 from repro.serve.server import WRITE_KINDS, DaemonConfig, ServeDaemon
+from repro.serve.sharded import ShardedDaemonConfig, ShardedServeDaemon
 from repro.serve.watchdog import ServingWatchdog, WatchdogConfig
 
 __all__ = [
@@ -60,6 +75,12 @@ __all__ = [
     "ServerFailedError",
     "ServerUnavailableError",
     "ServingWatchdog",
+    "ShardLiveFireConfig",
+    "ShardLiveFireHarness",
+    "ShardLiveFireOutcome",
+    "ShardLiveFireReport",
+    "ShardedDaemonConfig",
+    "ShardedServeDaemon",
     "ShuttingDownError",
     "WRITE_KINDS",
     "WatchdogConfig",

@@ -9,6 +9,13 @@ full jitter under a ceiling) plus two serving-specific rules:
 * **server hints win** — a rejection carrying ``retry_after_ms`` is
   backed off by at least that long (the server knows how jammed its
   queue is; the client's exponential schedule is only a floor);
+* **hints are scoped to their shard** — a sharded daemon labels
+  rejections with the recovery domain they came from, and the client
+  keeps one backoff floor *per shard* (plus the object→shard map it
+  learns from responses).  One jammed shard slows requests routed to
+  that shard only; traffic to the other shards proceeds at full speed.
+  Shard-less rejections (a single-kernel daemon, or a whole-daemon
+  condition like draining) keep the legacy whole-client behavior;
 * **deadlines are an overall budget** — ``RetryPolicy.deadline``
   caps *total elapsed time* across connects, sends, and backoff
   sleeps, mirroring the elapsed-budget cap ``retry_transient`` grew
@@ -106,6 +113,11 @@ class DaemonClient:
         #: Responses the server acknowledged (``ok: true``) for write
         #: kinds, kept for harness-side durability auditing.
         self.acked: List[Dict[str, Any]] = []
+        #: Per-shard backoff floors (monotonic deadlines) learned from
+        #: shard-labeled retry hints; see the module docstring.
+        self._shard_floors: Dict[int, float] = {}
+        #: Object→shard map learned from shard-labeled responses.
+        self._obj_shards: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # connection management
@@ -156,9 +168,14 @@ class DaemonClient:
         if self.deadline_ms is not None and "deadline_ms" not in fields:
             message["deadline_ms"] = self.deadline_ms
         message.update(fields)
+        obj = fields.get("obj") if isinstance(fields.get("obj"), str) else None
         last_error: Optional[Exception] = None
         out_of_budget = False
         for attempt in range(policy.attempts):
+            if self._out_of_budget(start):
+                out_of_budget = True
+                break
+            self._await_shard_floor(obj, start)
             if self._out_of_budget(start):
                 out_of_budget = True
                 break
@@ -172,7 +189,12 @@ class DaemonClient:
                 if not self._pause(attempt, start, None):
                     break
                 continue
+            shard = response.get("shard")
+            if obj is not None and isinstance(shard, int):
+                self._obj_shards[obj] = shard
             if response.get("ok"):
+                if isinstance(shard, int):
+                    self._shard_floors.pop(shard, None)
                 if kind in ("put", "delete", "apply"):
                     self.acked.append(dict(response))
                 return response
@@ -184,6 +206,17 @@ class DaemonClient:
             if code not in RETRYABLE_CODES:
                 raise exc
             last_error = exc
+            if isinstance(shard, int) and retry_after_ms is not None:
+                # Shard-scoped hint: raise that shard's floor only.
+                # The floor gate above makes *this* request (which is
+                # bound for the same shard) honor it, while concurrent
+                # requests to other shards back off on the exponential
+                # schedule alone.
+                self._shard_floors[shard] = max(
+                    self._shard_floors.get(shard, 0.0),
+                    policy.clock() + retry_after_ms / 1000.0,
+                )
+                retry_after_ms = None
             if not self._pause(attempt, start, retry_after_ms):
                 break
         # Budget exhaustion is a deadline condition; attempts exhaustion
@@ -208,6 +241,34 @@ class DaemonClient:
         if response is None:
             raise ProtocolError("server closed the connection mid-request")
         return response
+
+    def _await_shard_floor(self, obj: Optional[str], start: float) -> None:
+        """Sleep out the target shard's backoff floor, if one is set.
+
+        Only object-routed requests gate here (their shard is known
+        from the learned map); the wait is capped by the remaining
+        deadline budget so a long hint cannot push a request past the
+        deadline its caller was promised.
+        """
+        if obj is None:
+            return
+        shard = self._obj_shards.get(obj)
+        if shard is None:
+            return
+        floor = self._shard_floors.get(shard)
+        if floor is None:
+            return
+        policy = self.policy
+        now = policy.clock()
+        wait = floor - now
+        if wait <= 0.0:
+            self._shard_floors.pop(shard, None)
+            return
+        if policy.deadline is not None:
+            remaining = policy.deadline - (now - start)
+            wait = min(wait, max(0.0, remaining))
+        if wait > 0.0:
+            policy.sleep(wait)
 
     def _out_of_budget(self, start: float) -> bool:
         policy = self.policy

@@ -55,6 +55,11 @@ REQUEST_KINDS = frozenset(
     {"ping", "get", "put", "delete", "apply", "health", "stats"}
 )
 
+#: Chaos-engineering kinds the *sharded* daemon accepts when started
+#: with ``--allow-chaos`` (harness/CI use only): kill one shard worker
+#: in place, and revive it through supervised recovery.
+CHAOS_KINDS = frozenset({"kill_shard", "revive_shard"})
+
 #: Stable rejection codes (mirrored by :mod:`repro.serve.errors`).
 ERROR_CODES = frozenset(
     {
@@ -161,10 +166,19 @@ def error_response(
     message: str,
     health: str,
     retry_after_ms: Optional[int] = None,
+    shard: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """A structured rejection."""
+    """A structured rejection.
+
+    ``shard`` names the recovery domain the rejection came from, when
+    the server is sharded — clients use it to scope backpressure hints
+    to the one jammed shard instead of backing off everywhere.
+    """
     assert code in ERROR_CODES, code
     error: Dict[str, Any] = {"code": code, "message": message}
     if retry_after_ms is not None:
         error["retry_after_ms"] = int(retry_after_ms)
-    return {"id": request_id, "ok": False, "health": health, "error": error}
+    response = {"id": request_id, "ok": False, "health": health, "error": error}
+    if shard is not None:
+        response["shard"] = int(shard)
+    return response

@@ -1,0 +1,1049 @@
+"""N-way sharded serving: one listener, N recovery domains.
+
+``ShardedServeDaemon`` fronts a :class:`~repro.shard.ShardedSystem`
+with the same wire protocol, admission gates and durability contract
+as the single-kernel :class:`~repro.serve.server.ServeDaemon`, but
+every shard is its *own* recovery domain:
+
+* **one apply thread per shard** — shard k's kernel is touched only by
+  shard k's worker, so N single-shard operations proceed genuinely in
+  parallel (N WAL forces overlap; the force latency, not the GIL, is
+  the serial resource);
+* **per-shard admission** — each shard has its own bounded queue and
+  its own health gate.  One shard DEGRADED answers *its* writes with
+  ``DEGRADED`` while the other shards keep acking; one shard's full
+  queue answers ``BACKPRESSURE`` **with the shard index**, so clients
+  back off that shard only;
+* **per-shard supervision** — each shard has its own
+  :class:`~repro.serve.watchdog.ServingWatchdog`; a storage crash in
+  shard k recovers shard k while the others serve on;
+* **cross-shard operations** — an ``apply`` whose footprint spans
+  shards is executed under a rendezvous: the operation is enqueued to
+  every participant, the lowest-numbered participant coordinates, the
+  other participants park their worker (their kernel's "turn" is what
+  the coordinator borrows), and the
+  :meth:`~repro.shard.ShardedSystem.execute_cross` fence protocol
+  runs — local physical ops, fence records on every participant, all
+  participant WALs forced, then the ack.  Rendezvous tokens are
+  enqueued under one daemon-wide lock so their relative order is the
+  same in every participant queue — two cross-shard operations can
+  never deadlock waiting for each other's participants;
+* **chaos endpoints** — with ``allow_chaos`` the protocol kinds
+  ``kill_shard`` / ``revive_shard`` let harnesses and the CI smoke job
+  kill one shard worker in place (its volatile state is lost, exactly
+  the SIGKILL model) and later revive it through supervised recovery,
+  proving partial-outage behavior against a real process.
+
+Metrics: the daemon keeps its own registry (``serve.*`` plus
+``serve.shard.<k>.*`` labels); each shard's kernel keeps its own
+registry (collector prefixes would collide on a shared one), and the
+``/metrics`` endpoint renders the merged view with ``shard<k>.``
+prefixes.  ``/healthz`` is 200 only when *every* shard is HEALTHY and
+alive — a load balancer should steer around a partially-degraded node
+while clients with shard affinity may still use its healthy shards.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    CorruptObjectError,
+    DegradedModeError,
+    ReproError,
+    SimulatedCrash,
+    TransientStorageError,
+)
+from repro.core.operation import Operation, OpKind, delete_object
+from repro.kernel.system import SystemHealth
+from repro.obs.http import ObsHTTPServer
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.server import WRITE_KINDS, DaemonConfig, _Connection
+from repro.serve.watchdog import ServingWatchdog
+from repro.shard.group import CrossShardError, ShardedSystem
+from repro.storage.backup import FuzzyBackup
+
+#: Health severity order for the aggregate health string.
+_HEALTH_RANK = {
+    SystemHealth.HEALTHY: 0,
+    SystemHealth.RECOVERING: 1,
+    SystemHealth.DEGRADED: 2,
+    SystemHealth.FAILED: 3,
+}
+
+
+@dataclass
+class ShardedDaemonConfig(DaemonConfig):
+    """DaemonConfig plus the sharding knobs."""
+
+    #: Number of recovery domains (the CLI's ``--shards``).
+    shards: int = 2
+    #: Accept ``kill_shard`` / ``revive_shard`` chaos requests.  Off by
+    #: default: only harnesses and CI smoke jobs should ever enable it.
+    allow_chaos: bool = False
+
+
+class _CrossJob:
+    """One cross-shard request's rendezvous state."""
+
+    def __init__(
+        self,
+        request: Dict[str, Any],
+        conn: _Connection,
+        deadline: float,
+        participants: Tuple[int, ...],
+    ) -> None:
+        self.request = request
+        self.conn = conn
+        self.deadline = deadline
+        self.participants = participants
+        self.coordinator = participants[0]
+        self._lock = threading.Lock()
+        self._arrived: set = set()
+        self.all_arrived = threading.Event()
+        #: Set exactly once, after the coordinator answered (or the job
+        #: was cancelled); parked participants resume on it.
+        self.done = threading.Event()
+        self.cancelled = False
+
+    def arrive(self, shard: int) -> None:
+        with self._lock:
+            self._arrived.add(shard)
+            if self._arrived >= set(self.participants):
+                self.all_arrived.set()
+
+
+@dataclass
+class _ShardWork:
+    """One admitted request in a shard's queue."""
+
+    request: Dict[str, Any]
+    conn: _Connection
+    deadline: float
+    enqueued: float
+    cross: Optional[_CrossJob] = None
+
+
+class _Shard:
+    """One recovery domain's serving-side state."""
+
+    def __init__(
+        self,
+        index: int,
+        system,
+        watchdog: ServingWatchdog,
+        max_queue: int,
+    ) -> None:
+        self.index = index
+        self.system = system
+        self.watchdog = watchdog
+        self.queue: "queue.Queue[_ShardWork]" = queue.Queue(
+            maxsize=max(1, max_queue)
+        )
+        self.thread: Optional[threading.Thread] = None
+        self.stop = threading.Event()
+        self.idle = threading.Event()
+        self.idle.set()
+        #: True between kill_shard and revive_shard: the worker is dead
+        #: and the shard's volatile state is gone.
+        self.killed = False
+
+
+class ShardedServeDaemon:
+    """A supervised multi-shard serving loop over one object space."""
+
+    def __init__(
+        self,
+        sharded: ShardedSystem,
+        config: Optional[ShardedDaemonConfig] = None,
+        backups: Optional[List[Optional[FuzzyBackup]]] = None,
+    ) -> None:
+        self.sharded = sharded
+        self.config = (
+            config
+            if config is not None
+            else ShardedDaemonConfig(shards=sharded.shards)
+        )
+        self.config.shards = sharded.shards
+        #: Daemon-level registry: serve.* and serve.shard.<k>.* series.
+        self.obs = MetricsRegistry()
+        self._shards: List[_Shard] = []
+        for index, system in enumerate(sharded.systems):
+            if not system.obs.enabled:
+                # One registry per kernel: the io/engine collector
+                # prefixes collide on a shared registry.
+                system.attach_metrics(MetricsRegistry())
+            backup = None
+            if backups is not None and index < len(backups):
+                backup = backups[index]
+            self._shards.append(
+                _Shard(
+                    index,
+                    system,
+                    ServingWatchdog(
+                        system, backup=backup, config=self.config.watchdog
+                    ),
+                    self.config.max_queue,
+                )
+            )
+        self._listener: Optional[socket.socket] = None
+        self._http: Optional[ObsHTTPServer] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._readers: List[threading.Thread] = []
+        self._conns: List[_Connection] = []
+        self._conns_lock = threading.Lock()
+        #: Serializes cross-job enqueues: tokens of different cross jobs
+        #: appear in the same relative order in every participant queue,
+        #: which is the no-deadlock argument for the rendezvous.
+        self._cross_lock = threading.Lock()
+        #: Serializes chaos operations (kill/revive) with each other.
+        self._control_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._stopping = threading.Event()
+        self._started = False
+        self._op_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def port(self) -> Optional[int]:
+        if self._listener is None:
+            return None
+        return self._listener.getsockname()[1]
+
+    @property
+    def http_port(self) -> Optional[int]:
+        return self._http.port if self._http is not None else None
+
+    def restarts(self) -> int:
+        """Watchdog restarts summed over the shards."""
+        return sum(shard.watchdog.restarts for shard in self._shards)
+
+    def start(self) -> "ShardedServeDaemon":
+        """Recover every shard, then open the listener.
+
+        Startup recovery is per shard and sequential; a shard that
+        lands DEGRADED or FAILED does not block the others — admission
+        gates per shard, which is the partial-outage point.
+        """
+        if self._started:
+            raise RuntimeError("daemon already started")
+        self._started = True
+        for shard in self._shards:
+            shard.watchdog.supervised_startup()
+        if self.config.http_port is not None:
+            self._http = ObsHTTPServer(
+                self._metrics_source,
+                self._health_payload,
+                host=self.config.host,
+                port=self.config.http_port,
+            )
+            self._http.start()
+        listener = socket.create_server(
+            (self.config.host, self.config.port), backlog=32
+        )
+        listener.settimeout(0.1)
+        self._listener = listener
+        for shard in self._shards:
+            self._start_worker(shard)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-shard-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _start_worker(self, shard: _Shard) -> None:
+        shard.stop = threading.Event()
+        shard.thread = threading.Thread(
+            target=self._shard_loop,
+            args=(shard,),
+            name=f"repro-shard-apply-{shard.index}",
+            daemon=True,
+        )
+        shard.thread.start()
+
+    def stop(self, graceful: bool = True) -> int:
+        """Shut down all shards; the SIGTERM path when ``graceful``."""
+        if not self._started:
+            return 0
+        self._draining.set()
+        if graceful:
+            deadline = time.monotonic() + self.config.drain_deadline_s
+            while time.monotonic() < deadline:
+                if all(
+                    shard.queue.empty() and shard.idle.is_set()
+                    for shard in self._shards
+                    if not shard.killed
+                ):
+                    break
+                time.sleep(0.01)
+        self._stopping.set()
+        for shard in self._shards:
+            shard.stop.set()
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.thread.join(timeout=5.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for shard in self._shards:
+            self._flush_queue(shard, "SHUTTING_DOWN", "server is shutting down")
+        status = 0
+        if graceful:
+            for shard in self._shards:
+                if shard.killed or shard.system._crashed:
+                    continue
+                try:
+                    shard.system.log.force()
+                    if (
+                        self.config.checkpoint_on_shutdown
+                        and shard.system.health is SystemHealth.HEALTHY
+                    ):
+                        shard.system.checkpoint(truncate=True)
+                except (ReproError, SimulatedCrash):
+                    status = 1
+        self.sharded.close()
+        self._close_everything()
+        for thread in list(self._readers):
+            thread.join(timeout=5.0)
+        return status
+
+    def kill(self) -> None:
+        """Abrupt whole-daemon stop (the SIGKILL model for harnesses)."""
+        if not self._started:
+            return
+        self._draining.set()
+        self._stopping.set()
+        for shard in self._shards:
+            shard.stop.set()
+        self._close_everything()
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.thread.join(timeout=5.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._readers):
+            thread.join(timeout=5.0)
+        for shard in self._shards:
+            self._flush_queue(shard, None, None)
+
+    def _close_everything(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
+        if self._http is not None:
+            self._http.stop()
+            self._http = None
+
+    def _flush_queue(
+        self, shard: _Shard, code: Optional[str], message: Optional[str]
+    ) -> None:
+        while True:
+            try:
+                work = shard.queue.get_nowait()
+            except queue.Empty:
+                return
+            if work.cross is not None:
+                work.cross.cancelled = True
+                work.cross.done.set()
+            if code is not None:
+                work.conn.send(
+                    protocol.error_response(
+                        work.request.get("id"),
+                        code,
+                        message or "",
+                        shard.system.health.value,
+                        shard=shard.index,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # chaos: kill and revive one shard
+    # ------------------------------------------------------------------
+    def kill_shard(self, index: int) -> None:
+        """Kill shard ``index``'s worker in place (SIGKILL model).
+
+        The worker thread is stopped and joined, the shard's volatile
+        state (cache + unforced WAL buffer) is discarded, and its
+        queued requests are answered ``UNAVAILABLE``.  Every other
+        shard keeps serving; cross-shard requests naming the victim
+        time out at the rendezvous and answer ``UNAVAILABLE`` too.
+        """
+        with self._control_lock:
+            shard = self._shards[index]
+            if shard.killed:
+                return
+            shard.killed = True
+            shard.stop.set()
+            if shard.thread is not None:
+                shard.thread.join(timeout=10.0)
+            if not shard.system._crashed:
+                shard.system.crash()
+            self.obs.count(f"serve.shard.{index}.kills")
+            self._flush_queue(
+                shard, "UNAVAILABLE", f"shard {index} worker was killed"
+            )
+
+    def revive_shard(self, index: int) -> None:
+        """Recover a killed shard and put a fresh worker on it."""
+        with self._control_lock:
+            shard = self._shards[index]
+            if not shard.killed:
+                raise ValueError(f"shard {index} is not killed")
+            shard.watchdog.supervised_startup()
+            self._start_worker(shard)
+            shard.killed = False
+            self.obs.count(f"serve.shard.{index}.revives")
+
+    # ------------------------------------------------------------------
+    # accept + read side
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn = _Connection(sock)
+            with self._conns_lock:
+                self._conns.append(conn)
+            thread = threading.Thread(
+                target=self._reader_loop,
+                args=(conn,),
+                name="repro-shard-conn",
+                daemon=True,
+            )
+            thread.start()
+            self._readers.append(thread)
+
+    def _reader_loop(self, conn: _Connection) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = protocol.recv_frame(conn.sock)
+                except (protocol.ProtocolError, OSError):
+                    break
+                if request is None:
+                    break
+                self._admit(conn, request)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self, conn: _Connection, request: Dict[str, Any]) -> None:
+        request_id = request.get("id")
+        kind = request.get("kind")
+        self.obs.count("serve.requests")
+
+        def reject(
+            code: str,
+            message: str,
+            retry_after_ms: Optional[int] = None,
+            shard: Optional[int] = None,
+            health: str = "",
+        ) -> None:
+            self.obs.count(f"serve.rejected.{code.lower()}")
+            conn.send(
+                protocol.error_response(
+                    request_id,
+                    code,
+                    message,
+                    health or self.aggregate_health().value,
+                    retry_after_ms,
+                    shard=shard,
+                )
+            )
+
+        if kind in protocol.CHAOS_KINDS:
+            self._handle_chaos(conn, request, request_id, reject)
+            return
+        if kind not in protocol.REQUEST_KINDS:
+            reject("BAD_REQUEST", f"unknown request kind {kind!r}")
+            return
+        if kind in ("ping", "health", "stats"):
+            conn.send(self._inline_answer(kind, request_id))
+            return
+        if self._draining.is_set():
+            reject(
+                "SHUTTING_DOWN",
+                "server is draining for shutdown",
+                self.config.retry_after_ms,
+            )
+            return
+        # Route: object verbs go to the owner shard; apply goes to the
+        # full footprint of its read/write sets.
+        try:
+            shards = self._route(request, kind)
+        except protocol.ProtocolError as exc:
+            reject("BAD_REQUEST", str(exc))
+            return
+        now = time.monotonic()
+        budget_ms = request.get("deadline_ms")
+        if budget_ms is None:
+            budget_ms = self.config.default_deadline_ms
+        try:
+            budget_ms = min(int(budget_ms), self.config.max_deadline_ms)
+        except (TypeError, ValueError):
+            reject("BAD_REQUEST", f"bad deadline_ms: {budget_ms!r}")
+            return
+        deadline = now + budget_ms / 1000.0
+        # Per-shard health gates, checked for every involved shard.
+        for index in shards:
+            shard = self._shards[index]
+            health = shard.system.health
+            if shard.killed:
+                reject(
+                    "UNAVAILABLE",
+                    f"shard {index} worker is down",
+                    self.config.retry_after_ms,
+                    shard=index,
+                    health=health.value,
+                )
+                return
+            if health is SystemHealth.FAILED:
+                reject(
+                    "FAILED",
+                    f"shard {index}: recovery did not converge",
+                    shard=index,
+                    health=health.value,
+                )
+                return
+            if health is SystemHealth.DEGRADED and kind in WRITE_KINDS:
+                reject(
+                    "DEGRADED",
+                    f"shard {index} is in degraded read-only mode "
+                    "(lost objects: "
+                    f"{sorted(map(str, shard.system.lost_objects))})",
+                    shard=index,
+                    health=health.value,
+                )
+                return
+        if len(shards) == 1:
+            index = shards[0]
+            shard = self._shards[index]
+            work = _ShardWork(
+                request=request, conn=conn, deadline=deadline, enqueued=now
+            )
+            try:
+                shard.queue.put_nowait(work)
+            except queue.Full:
+                reject(
+                    "BACKPRESSURE",
+                    f"shard {index} admission queue full "
+                    f"({self.config.max_queue} waiting)",
+                    self.config.retry_after_ms,
+                    shard=index,
+                    health=shard.system.health.value,
+                )
+                return
+            self.obs.gauge(
+                f"serve.shard.{index}.queue_depth", shard.queue.qsize()
+            )
+            return
+        self._admit_cross(conn, request, shards, deadline, now, reject)
+
+    def _admit_cross(
+        self,
+        conn: _Connection,
+        request: Dict[str, Any],
+        shards: Tuple[int, ...],
+        deadline: float,
+        now: float,
+        reject,
+    ) -> None:
+        """Enqueue one rendezvous token per participant, atomically.
+
+        The cross lock guarantees all participants see cross jobs in
+        the same relative order; a full participant queue cancels the
+        whole job (tokens already enqueued become no-ops).
+        """
+        job = _CrossJob(request, conn, deadline, shards)
+        with self._cross_lock:
+            for index in shards:
+                shard = self._shards[index]
+                work = _ShardWork(
+                    request=request,
+                    conn=conn,
+                    deadline=deadline,
+                    enqueued=now,
+                    cross=job,
+                )
+                try:
+                    shard.queue.put_nowait(work)
+                except queue.Full:
+                    job.cancelled = True
+                    job.done.set()
+                    reject(
+                        "BACKPRESSURE",
+                        f"shard {index} admission queue full "
+                        f"({self.config.max_queue} waiting)",
+                        self.config.retry_after_ms,
+                        shard=index,
+                        health=shard.system.health.value,
+                    )
+                    return
+        self.obs.count("serve.cross_shard_requests")
+
+    def _route(self, request: Dict[str, Any], kind: str) -> Tuple[int, ...]:
+        router = self.sharded.router
+        if kind in ("get", "put", "delete"):
+            obj = request.get("obj")
+            if not isinstance(obj, str) or not obj:
+                raise protocol.ProtocolError("request requires an 'obj' string")
+            return (router.shard_of(obj),)
+        # apply: the footprint is the union of read and write sets.
+        reads = request.get("reads") or []
+        writes = request.get("writes") or []
+        if not writes:
+            raise protocol.ProtocolError("apply requires a writeset")
+        return tuple(sorted(router.shards_of([*reads, *writes])))
+
+    def _handle_chaos(
+        self, conn: _Connection, request: Dict[str, Any], request_id, reject
+    ) -> None:
+        if not self.config.allow_chaos:
+            reject(
+                "BAD_REQUEST",
+                "chaos endpoints are disabled (start with allow_chaos)",
+            )
+            return
+        raw = request.get("shard")
+        if not isinstance(raw, int) or not 0 <= raw < len(self._shards):
+            reject("BAD_REQUEST", f"bad shard index {raw!r}")
+            return
+        try:
+            if request.get("kind") == "kill_shard":
+                self.kill_shard(raw)
+            else:
+                self.revive_shard(raw)
+        except ValueError as exc:
+            reject("BAD_REQUEST", str(exc), shard=raw)
+            return
+        conn.send(
+            protocol.ok_response(
+                request_id,
+                self.aggregate_health().value,
+                shard=raw,
+                killed=self._shards[raw].killed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # inline answers + health
+    # ------------------------------------------------------------------
+    def aggregate_health(self) -> SystemHealth:
+        """The worst health across shards (the conservative headline)."""
+        return max(
+            (shard.system.health for shard in self._shards),
+            key=lambda health: _HEALTH_RANK[health],
+        )
+
+    def _inline_answer(self, kind: str, request_id: Any) -> Dict[str, Any]:
+        health = self.aggregate_health()
+        if kind == "ping":
+            from repro import __version__
+
+            return protocol.ok_response(
+                request_id,
+                health.value,
+                version=__version__,
+                shards=len(self._shards),
+            )
+        if kind == "health":
+            return protocol.ok_response(
+                request_id,
+                health.value,
+                shards={
+                    str(shard.index): {
+                        "health": shard.system.health.value,
+                        "killed": shard.killed,
+                        "queue_depth": shard.queue.qsize(),
+                        "restarts": shard.watchdog.restarts,
+                        "lost_objects": sorted(
+                            map(str, shard.system.lost_objects)
+                        ),
+                    }
+                    for shard in self._shards
+                },
+                draining=self._draining.is_set(),
+            )
+        snapshot = self._combined_snapshot()
+        return protocol.ok_response(
+            request_id,
+            health.value,
+            stats={
+                "counters": snapshot["counters"],
+                "gauges": snapshot["gauges"],
+            },
+        )
+
+    def _combined_snapshot(self) -> Dict[str, Any]:
+        """Daemon registry + every shard registry, shard-prefixed."""
+        merged = self.obs.snapshot()
+        merged["histograms"] = dict(merged.get("histograms", {}))
+        for shard in self._shards:
+            if not shard.system.obs.enabled:
+                continue
+            snap = shard.system.obs.snapshot()
+            prefix = f"shard{shard.index}."
+            for section in ("counters", "gauges", "histograms", "info"):
+                base = merged.setdefault(section, {})
+                for name, value in snap.get(section, {}).items():
+                    base[prefix + name] = value
+        return merged
+
+    def _metrics_source(self) -> Optional[Any]:
+        return self._combined_snapshot()
+
+    def _health_payload(self) -> Tuple[int, Dict[str, Any]]:
+        healths = {
+            str(shard.index): shard.system.health.value
+            for shard in self._shards
+        }
+        all_up = all(
+            shard.system.health is SystemHealth.HEALTHY and not shard.killed
+            for shard in self._shards
+        )
+        payload = {
+            "health": self.aggregate_health().value,
+            "shards": healths,
+            "killed": [
+                shard.index for shard in self._shards if shard.killed
+            ],
+            "restarts": self.restarts(),
+            "draining": self._draining.is_set(),
+        }
+        return (200 if all_up else 503), payload
+
+    # ------------------------------------------------------------------
+    # apply side: one worker per shard
+    # ------------------------------------------------------------------
+    def _shard_loop(self, shard: _Shard) -> None:
+        while True:
+            try:
+                work = shard.queue.get(timeout=0.05)
+            except queue.Empty:
+                if shard.stop.is_set():
+                    return
+                continue
+            shard.idle.clear()
+            try:
+                if work.cross is not None:
+                    self._participate(shard, work.cross)
+                else:
+                    self._apply_one(shard, work)
+            finally:
+                shard.idle.set()
+                self.obs.gauge(
+                    f"serve.shard.{shard.index}.queue_depth",
+                    shard.queue.qsize(),
+                )
+
+    def _apply_one(self, shard: _Shard, work: _ShardWork) -> None:
+        request = work.request
+        request_id = request.get("id")
+        system = shard.system
+        now = time.monotonic()
+        if now > work.deadline:
+            self.obs.count("serve.rejected.deadline")
+            work.conn.send(
+                protocol.error_response(
+                    request_id,
+                    "DEADLINE",
+                    f"deadline expired after {now - work.enqueued:.3f}s "
+                    "in queue",
+                    system.health.value,
+                    shard=shard.index,
+                )
+            )
+            return
+        # Health may have moved while the request sat in the backlog.
+        if system.health is SystemHealth.FAILED:
+            work.conn.send(
+                protocol.error_response(
+                    request_id,
+                    "FAILED",
+                    f"shard {shard.index}: recovery did not converge",
+                    system.health.value,
+                    shard=shard.index,
+                )
+            )
+            return
+        try:
+            response = self._dispatch(shard, request, request_id)
+        except DegradedModeError as exc:
+            response = protocol.error_response(
+                request_id,
+                "DEGRADED",
+                str(exc),
+                system.health.value,
+                shard=shard.index,
+            )
+        except (SimulatedCrash, CorruptObjectError, TransientStorageError) as exc:
+            work.conn.send(
+                protocol.error_response(
+                    request_id,
+                    "UNAVAILABLE",
+                    f"shard {shard.index} serving crash "
+                    f"({type(exc).__name__}: {exc}); recovery in progress",
+                    SystemHealth.RECOVERING.value,
+                    self.config.retry_after_ms,
+                    shard=shard.index,
+                )
+            )
+            self.obs.count(f"serve.shard.{shard.index}.crashes")
+            shard.watchdog.handle_serving_crash(exc)
+            return
+        except ReproError as exc:
+            response = protocol.error_response(
+                request_id,
+                "BAD_REQUEST",
+                f"{type(exc).__name__}: {exc}",
+                system.health.value,
+                shard=shard.index,
+            )
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            response = protocol.error_response(
+                request_id,
+                "INTERNAL",
+                f"{type(exc).__name__}: {exc}",
+                system.health.value,
+                shard=shard.index,
+            )
+        self.obs.observe(
+            "serve.request_seconds", time.monotonic() - now
+        )
+        work.conn.send(response)
+
+    def _dispatch(
+        self, shard: _Shard, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        kind = request["kind"]
+        system = shard.system
+        if kind == "get":
+            obj = request["obj"]
+            value = system.read(obj)
+            return protocol.ok_response(
+                request_id,
+                system.health.value,
+                value=protocol.encode_value(value),
+                vsi=system.cache.vsi_of(obj),
+                shard=shard.index,
+            )
+        if kind == "put":
+            obj = request["obj"]
+            value = protocol.decode_value(request.get("value"))
+            op = Operation(
+                f"serve.put({obj})#{next(self._op_ids)}",
+                OpKind.PHYSICAL,
+                reads=frozenset(),
+                writes=frozenset({obj}),
+                payload={obj: value},
+            )
+            return self._execute_durably(shard, op, request_id)
+        if kind == "delete":
+            return self._execute_durably(
+                shard, delete_object(request["obj"]), request_id
+            )
+        if kind == "apply":
+            op = self._apply_operation(request)
+            return self._execute_durably(
+                shard, op, request_id, include_writes=True
+            )
+        raise protocol.ProtocolError(f"unhandled request kind {kind!r}")
+
+    def _apply_operation(self, request: Dict[str, Any]) -> Operation:
+        fn = request.get("fn")
+        if not isinstance(fn, str) or not fn:
+            raise protocol.ProtocolError("apply requires a function name")
+        params = [
+            protocol.decode_value(param)
+            for param in (request.get("params") or [])
+        ]
+        return Operation(
+            request.get("name") or f"serve.apply({fn})#{next(self._op_ids)}",
+            OpKind.LOGICAL,
+            reads=frozenset(request.get("reads") or []),
+            writes=frozenset(request.get("writes") or []),
+            fn=fn,
+            params=tuple(params),
+        )
+
+    def _execute_durably(
+        self,
+        shard: _Shard,
+        op: Operation,
+        request_id: Any,
+        include_writes: bool = False,
+    ) -> Dict[str, Any]:
+        system = shard.system
+        writes = system.execute(op)
+        system.log.force_through(op.lsi)
+        self.obs.count("serve.acked_writes")
+        self.obs.count(f"serve.shard.{shard.index}.acked_writes")
+        fields: Dict[str, Any] = {"lsi": op.lsi, "shard": shard.index}
+        if include_writes:
+            fields["writes"] = {
+                str(obj): protocol.encode_value(value)
+                for obj, value in writes.items()
+            }
+        return protocol.ok_response(
+            request_id, system.health.value, **fields
+        )
+
+    # ------------------------------------------------------------------
+    # cross-shard rendezvous
+    # ------------------------------------------------------------------
+    def _participate(self, shard: _Shard, job: _CrossJob) -> None:
+        if job.cancelled:
+            return
+        job.arrive(shard.index)
+        if shard.index != job.coordinator:
+            # Park: the coordinator borrows this shard's kernel turn.
+            # done is set in the coordinator's finally (or at cancel),
+            # so the park cannot outlive the job; stop breaks the park
+            # when this worker is being killed.
+            while not job.done.wait(0.05):
+                if shard.stop.is_set():
+                    return
+            return
+        self._coordinate(shard, job)
+
+    def _coordinate(self, shard: _Shard, job: _CrossJob) -> None:
+        request_id = job.request.get("id")
+        start = time.monotonic()
+        try:
+            while not job.all_arrived.wait(0.05):
+                if shard.stop.is_set():
+                    return
+                if time.monotonic() > job.deadline:
+                    self.obs.count("serve.rejected.cross_rendezvous")
+                    job.conn.send(
+                        protocol.error_response(
+                            request_id,
+                            "UNAVAILABLE",
+                            "cross-shard rendezvous timed out on shards "
+                            f"{list(job.participants)} (a participant is "
+                            "down or jammed)",
+                            self.aggregate_health().value,
+                            self.config.retry_after_ms,
+                        )
+                    )
+                    return
+            # All participants parked: this thread owns every kernel.
+            try:
+                op = self._apply_operation(job.request)
+                writes = self.sharded.execute_cross(
+                    op, set(job.participants)
+                )
+            except CrossShardError as exc:
+                job.conn.send(
+                    protocol.error_response(
+                        request_id,
+                        "UNAVAILABLE",
+                        str(exc),
+                        self.aggregate_health().value,
+                        self.config.retry_after_ms,
+                    )
+                )
+                return
+            except DegradedModeError as exc:
+                job.conn.send(
+                    protocol.error_response(
+                        request_id,
+                        "DEGRADED",
+                        str(exc),
+                        self.aggregate_health().value,
+                    )
+                )
+                return
+            except (
+                SimulatedCrash, CorruptObjectError, TransientStorageError
+            ) as exc:
+                # A device died mid-protocol.  Nothing was acked; each
+                # participant recovers independently (acked state is
+                # forced, so supervised recovery loses none of it) and
+                # any partial fence is, by construction, unacked.
+                job.conn.send(
+                    protocol.error_response(
+                        request_id,
+                        "UNAVAILABLE",
+                        f"cross-shard serving crash ({type(exc).__name__}: "
+                        f"{exc}); recovery in progress",
+                        SystemHealth.RECOVERING.value,
+                        self.config.retry_after_ms,
+                    )
+                )
+                self.obs.count("serve.cross_shard_crashes")
+                for index in job.participants:
+                    participant = self._shards[index]
+                    if participant.killed:
+                        continue
+                    participant.watchdog.handle_serving_crash(exc)
+                return
+            except ReproError as exc:
+                job.conn.send(
+                    protocol.error_response(
+                        request_id,
+                        "BAD_REQUEST",
+                        f"{type(exc).__name__}: {exc}",
+                        self.aggregate_health().value,
+                    )
+                )
+                return
+            except Exception as exc:  # noqa: BLE001
+                job.conn.send(
+                    protocol.error_response(
+                        request_id,
+                        "INTERNAL",
+                        f"{type(exc).__name__}: {exc}",
+                        self.aggregate_health().value,
+                    )
+                )
+                return
+            self.obs.count("serve.acked_writes")
+            self.obs.count("serve.cross_shard_acked")
+            for index in job.participants:
+                self.obs.count(f"serve.shard.{index}.acked_writes")
+            self.obs.observe(
+                "serve.cross_shard_seconds", time.monotonic() - start
+            )
+            job.conn.send(
+                protocol.ok_response(
+                    request_id,
+                    self.aggregate_health().value,
+                    shards=list(job.participants),
+                    cross=True,
+                    writes={
+                        str(obj): protocol.encode_value(value)
+                        for obj, value in writes.items()
+                    },
+                )
+            )
+        finally:
+            job.done.set()

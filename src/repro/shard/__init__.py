@@ -1,0 +1,23 @@
+"""Sharded recovery domains: stable routing + per-shard kernels.
+
+See :mod:`repro.shard.group` for the fence protocol that lets N
+per-shard WALs replace one totally-ordered log without giving up
+recoverability, and :mod:`repro.shard.router` for the stable
+object→shard assignment that per-shard WALs depend on across upgrades.
+"""
+
+from repro.shard.group import (
+    CrossShardError,
+    FenceAudit,
+    FenceStatus,
+    ShardedSystem,
+)
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "CrossShardError",
+    "FenceAudit",
+    "FenceStatus",
+    "ShardRouter",
+    "ShardedSystem",
+]

@@ -1,0 +1,57 @@
+"""Deterministic object→shard routing.
+
+The router is the *upgrade contract* of the sharded system: each shard
+owns its own WAL, so the assignment of objects to shards must be stable
+across process restarts, Python versions and hosts — a silent change
+would point recovery at the wrong per-shard log and orphan every
+object that moved.  Hence:
+
+* the hash is ``zlib.crc32`` over the object id's UTF-8 bytes — a
+  published, seedless function.  Python's builtin ``hash()`` is
+  per-process salted (PYTHONHASHSEED) and is exactly the bug this
+  module exists to prevent;
+* the assignment for a fixed key set is snapshot-tested in CI
+  (``tests/test_shard_router.py``), so any change to the function shows
+  up as a failing literal, not a corrupted fleet.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.common.identifiers import ObjectId
+
+
+class ShardRouter:
+    """Stable modular routing of object ids onto ``shards`` domains."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, obj: ObjectId) -> int:
+        """The shard that owns ``obj`` (stable across processes)."""
+        if self.shards == 1:
+            return 0
+        return zlib.crc32(str(obj).encode("utf-8")) % self.shards
+
+    def shards_of(self, objs: Iterable[ObjectId]) -> Set[int]:
+        """The set of shards touched by a read/write-set."""
+        return {self.shard_of(obj) for obj in objs}
+
+    def assignment(
+        self, objs: Iterable[ObjectId]
+    ) -> Dict[str, int]:
+        """Object→shard mapping for a key set (snapshot-test surface)."""
+        return {str(obj): self.shard_of(obj) for obj in objs}
+
+    def partition(
+        self, objs: Iterable[ObjectId]
+    ) -> Dict[int, Tuple[ObjectId, ...]]:
+        """Group a key set by owning shard (shards with keys only)."""
+        buckets: Dict[int, list] = {}
+        for obj in objs:
+            buckets.setdefault(self.shard_of(obj), []).append(obj)
+        return {shard: tuple(objs) for shard, objs in buckets.items()}

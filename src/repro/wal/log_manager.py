@@ -15,6 +15,7 @@ recovery) stays on the log.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, List, Mapping, Optional
 
@@ -66,21 +67,85 @@ class LogManager:
         #: append timestamps by lSI, kept only while a registry is
         #: attached, to measure the append→stable coalescing latency.
         self._append_times: Dict[StateId, float] = {}
+        #: Serializes buffer/stable mutation between the caller's thread
+        #: and the (optional) group-commit timer thread.  Reentrant so
+        #: append_flush_transaction's two appends stay atomic.
+        self._lock = threading.RLock()
+        self._timer_stop: Optional[threading.Event] = None
+        self._timer_thread: Optional[threading.Thread] = None
+        #: Forces initiated by the timer (device touches only — an empty
+        #: buffer at the tick is a free no-op, not a force).
+        self.timer_forces = 0
+        #: Timer ticks whose force raised (e.g. a transient budget ran
+        #: out); the error is swallowed — the next piggyback force will
+        #: surface it on the caller's thread where it can be handled.
+        self.timer_force_errors = 0
+
+    # ------------------------------------------------------------------
+    # timer-driven group commit
+    # ------------------------------------------------------------------
+    def start_group_commit_timer(self, interval_s: float) -> None:
+        """Force the buffer on a timer as well as on piggyback requests.
+
+        Every ``interval_s`` seconds a daemon thread forces whatever sits
+        in the volatile buffer, coalescing forces *across* install
+        batches (piggyback group commit only coalesces requests that
+        arrive while records already sit buffered).  Idempotent: a second
+        call restarts the timer at the new interval.
+        """
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.stop_group_commit_timer()
+        stop = threading.Event()
+
+        def tick() -> None:
+            while not stop.wait(interval_s):
+                with self._lock:
+                    if stop.is_set() or not self._buffer:
+                        continue
+                    try:
+                        self.force()
+                        self.timer_forces += 1
+                        self.stats.bump("log_timer_forces")
+                    except Exception:
+                        self.timer_force_errors += 1
+                        self.stats.bump("log_timer_force_errors")
+
+        self._timer_stop = stop
+        self._timer_thread = threading.Thread(
+            target=tick, name="wal-group-commit", daemon=True
+        )
+        self._timer_thread.start()
+
+    def stop_group_commit_timer(self) -> None:
+        """Cancel the timer and join its thread (safe to call twice).
+
+        The stop flag is re-checked under the log lock inside the tick,
+        so once this returns no further timer force can start — a force
+        already in flight is waited out by the join.
+        """
+        stop, thread = self._timer_stop, self._timer_thread
+        self._timer_stop = self._timer_thread = None
+        if stop is not None:
+            stop.set()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join()
 
     # ------------------------------------------------------------------
     # appending
     # ------------------------------------------------------------------
     def append(self, record: LogRecord) -> StateId:
         """Append ``record`` to the volatile buffer, assigning its lSI."""
-        record.lsi = self._next_lsi
-        self._next_lsi += 1
-        self._buffer.append(record)
-        self.stats.log_records += 1
-        self.stats.log_bytes += record.record_size()
-        self.stats.log_value_bytes += record.value_bytes()
-        if self.obs.enabled:
-            self._append_times[record.lsi] = time.perf_counter()
-        return record.lsi
+        with self._lock:
+            record.lsi = self._next_lsi
+            self._next_lsi += 1
+            self._buffer.append(record)
+            self.stats.log_records += 1
+            self.stats.log_bytes += record.record_size()
+            self.stats.log_value_bytes += record.value_bytes()
+            if self.obs.enabled:
+                self._append_times[record.lsi] = time.perf_counter()
+            return record.lsi
 
     def append_operation(self, op: Operation) -> StateId:
         """Log an operation; its ``lsi`` field is set as a side effect."""
@@ -93,26 +158,28 @@ class LogManager:
         self, versions: Mapping[ObjectId, StoredVersion]
     ) -> StateId:
         """Log the values + commit records of one flush transaction."""
-        txn_id = self._next_txn_id
-        self._next_txn_id += 1
-        self.append(
-            FlushTxnValuesRecord(
-                txn_id,
-                {obj: (v.value, v.vsi) for obj, v in versions.items()},
+        with self._lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            self.append(
+                FlushTxnValuesRecord(
+                    txn_id,
+                    {obj: (v.value, v.vsi) for obj, v in versions.items()},
+                )
             )
-        )
-        return self.append(FlushTxnCommitRecord(txn_id))
+            return self.append(FlushTxnCommitRecord(txn_id))
 
     # ------------------------------------------------------------------
     # forcing (WAL)
     # ------------------------------------------------------------------
     def force(self) -> None:
         """Force the whole volatile buffer to the stable log."""
-        if self._buffer:
-            self._requested_high = max(
-                self._requested_high, self._buffer[-1].lsi
-            )
-        self._force_records(len(self._buffer))
+        with self._lock:
+            if self._buffer:
+                self._requested_high = max(
+                    self._requested_high, self._buffer[-1].lsi
+                )
+            self._force_records(len(self._buffer))
 
     def force_through(self, lsi: StateId) -> None:
         """Force the buffer prefix up to and including ``lsi``.
@@ -126,27 +193,30 @@ class LogManager:
         next requested the force has already happened and
         ``log_force_saves`` counts it.
         """
-        if not self._buffer or self._buffer[0].lsi > lsi:
-            if (
-                self.group_commit
-                and lsi > self._requested_high
-                and self.is_stable(lsi)
-            ):
-                # First request for a prefix that an earlier widened
-                # force already made stable: one device force saved.
-                self.stats.log_force_saves += 1
-                self._requested_high = lsi
-            return
-        # The buffer is lsi-ordered, so the prefix cut is a bisect.
-        lo, hi = 0, len(self._buffer)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._buffer[mid].lsi <= lsi:
-                lo = mid + 1
-            else:
-                hi = mid
-        self._requested_high = max(self._requested_high, lsi)
-        self._force_records(len(self._buffer) if self.group_commit else lo)
+        with self._lock:
+            if not self._buffer or self._buffer[0].lsi > lsi:
+                if (
+                    self.group_commit
+                    and lsi > self._requested_high
+                    and self.is_stable(lsi)
+                ):
+                    # First request for a prefix that an earlier widened
+                    # force already made stable: one device force saved.
+                    self.stats.log_force_saves += 1
+                    self._requested_high = lsi
+                return
+            # The buffer is lsi-ordered, so the prefix cut is a bisect.
+            lo, hi = 0, len(self._buffer)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._buffer[mid].lsi <= lsi:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            self._requested_high = max(self._requested_high, lsi)
+            self._force_records(
+                len(self._buffer) if self.group_commit else lo
+            )
 
     def _force_records(self, count: int) -> None:
         """Move the first ``count`` buffered records to the stable log.
@@ -278,19 +348,21 @@ class LogManager:
                 f"cannot truncate before lSI {lsi}: redo scan start point "
                 f"is {redo_start}"
             )
-        protected = self.min_protected_lsi()
-        if protected is not None:
-            lsi = min(lsi, protected)
-        kept = [r for r in self._stable if r.lsi >= lsi]
-        dropped = len(self._stable) - len(kept)
-        self._stable = kept
-        self._truncated_before = max(self._truncated_before, lsi)
-        return dropped
+        with self._lock:
+            protected = self.min_protected_lsi()
+            if protected is not None:
+                lsi = min(lsi, protected)
+            kept = [r for r in self._stable if r.lsi >= lsi]
+            dropped = len(self._stable) - len(kept)
+            self._stable = kept
+            self._truncated_before = max(self._truncated_before, lsi)
+            return dropped
 
     def crash(self) -> None:
         """Discard the volatile buffer (the stable log survives)."""
-        self._buffer.clear()
-        self._append_times.clear()
+        with self._lock:
+            self._buffer.clear()
+            self._append_times.clear()
 
     def __len__(self) -> int:
         return len(self._stable) + len(self._buffer)

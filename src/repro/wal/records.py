@@ -140,6 +140,41 @@ class CheckpointRecord(LogRecord):
 
 
 @dataclass
+class FenceRecord(LogRecord):
+    """Cross-shard fence: a vector of per-shard local positions.
+
+    When one operation's read/write-set spans recovery domains
+    (shards), each participating shard logs its local share of the
+    effects and then every participant appends the *same* fence — one
+    ``fence_id``, the full participant set, and the vector of per-shard
+    local lSIs the fence covers.  Recovery replays each shard's log
+    independently (the analysis/redo passes skip fence records, like
+    any record kind they do not know); the fence exists for the
+    *audit*: after a crash, a fence found on every participant with an
+    agreeing vector proves the cross-shard operation completed on all
+    shards, a fence found on a strict subset proves the operation was
+    never acknowledged (the ack force covers all participants), and
+    two fences sharing an id with disagreeing vectors is corruption.
+    """
+
+    fence_id: str
+    origin_shard: int
+    participants: Tuple[int, ...]
+    #: shard index → lSI (in that shard's log) of the last local record
+    #: belonging to this cross-shard operation.
+    vector: Dict[int, StateId]
+
+    def record_size(self) -> int:
+        return (
+            RECORD_HEADER_SIZE
+            + ID_SIZE  # the fence id
+            + SCALAR_SIZE  # origin shard
+            + len(self.participants) * SCALAR_SIZE
+            + len(self.vector) * 2 * SCALAR_SIZE
+        )
+
+
+@dataclass
 class FlushTxnValuesRecord(LogRecord):
     """Object values written to the log by a flush transaction."""
 

@@ -63,6 +63,45 @@ class TestCollectLanes:
         assert collect_lanes([1, 2]) == {}
         assert collect_lanes({"a": 3.0}) == {}
 
+    def test_acked_per_s_lane_is_higher_is_better(self):
+        # The E12/E13 serving lanes: bare numeric acked_per_s* keys.
+        lanes = collect_lanes(
+            {
+                "serving_throughput": {"acked_per_s": 1800.0},
+                "sharded_scaling": {
+                    "acked_per_s_1": 500.0,
+                    "acked_per_s_4": 2000.0,
+                    "speedup_1_to_4": 4.0,  # not a lane
+                },
+            }
+        )
+        assert lanes == {
+            "serving_throughput.acked_per_s": (1800.0, True),
+            "sharded_scaling.acked_per_s_1": (500.0, True),
+            "sharded_scaling.acked_per_s_4": (2000.0, True),
+        }
+
+    def test_acked_per_s_drop_regresses(self):
+        base = collect_lanes({"x": {"acked_per_s": 1000.0}})
+        cur = collect_lanes({"x": {"acked_per_s": 400.0}})
+        _, regressions = compare(base, cur, threshold=0.5)
+        assert len(regressions) == 1
+
+    def test_extrapolated_acked_lane_skipped(self):
+        lanes = collect_lanes(
+            {"x": {"acked_per_s": 1000.0, "extrapolated": True}}
+        )
+        assert lanes == {}
+
+    def test_new_acked_lane_is_baseline_only(self):
+        # First commit of a new benchmark: every lane is [new] and the
+        # diff passes — the committed file becomes the baseline.
+        report, regressions = compare(
+            {}, collect_lanes({"x": {"acked_per_s_8": 3000.0}})
+        )
+        assert regressions == []
+        assert any("[new]" in line for line in report)
+
 
 class TestCompare:
     def test_no_regression_within_threshold(self):

@@ -27,6 +27,15 @@ class TestTopLevel:
         ):
             assert name in repro.__all__, name
 
+    def test_sharding_surface_exported(self):
+        # The sharded-serving surface (PR 7) is part of the package API.
+        for name in (
+            "ShardRouter", "ShardedSystem", "CrossShardError", "FenceAudit",
+            "ShardedDaemonConfig", "ShardedServeDaemon",
+            "ShardLiveFireConfig", "ShardLiveFireHarness",
+        ):
+            assert name in repro.__all__, name
+
     def test_version_is_pep440ish(self):
         parts = repro.__version__.split(".")
         assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -217,3 +217,109 @@ class TestDeadlineBudget:
         client._round_trip = _round_trip
         client.request("get", obj="x", deadline_ms=75)
         assert captured["deadline_ms"] == 75
+
+
+def reject_shard(code, shard, retry_after_ms=None, health="healthy"):
+    """A shard-labeled rejection, as the sharded daemon sends them."""
+    response = reject(code, retry_after_ms=retry_after_ms, health=health)
+    response["shard"] = shard
+    return response
+
+
+def ok_on(shard, **fields):
+    response = {"ok": True, "health": "healthy", "lsi": 5, "shard": shard}
+    response.update(fields)
+    return response
+
+
+class TestPerShardBackpressure:
+    """Shard-scoped retry hints: one jammed shard must not slow the rest.
+
+    The sharded daemon labels rejections with the shard they came
+    from; the client keeps one backoff floor per shard (plus the
+    object→shard map it learns from responses).  The regression these
+    tests pin: a slow shard's ``retry_after_ms`` floor applies to
+    requests routed to *that shard only* — before the fix the hint
+    inflated the whole client's pause and a fast shard's traffic
+    stalled behind it.
+    """
+
+    def test_shard_hint_floors_that_shard_not_the_pause(self):
+        client, clock, _ = make_client(
+            [reject_shard("BACKPRESSURE", shard=1, retry_after_ms=400),
+             ok_on(1)],
+        )
+        client.request("put", obj="slow", value="v")
+        # The rejection taught obj->shard and raised shard 1's floor;
+        # the inter-attempt pause stays on the exponential schedule
+        # (base 0.01), and the floor gate sleeps out the remainder
+        # before the retry hits the same shard.
+        assert clock.sleeps == pytest.approx([0.01, 0.39])
+        # Success cleared the floor.
+        assert client._shard_floors == {}
+        assert client._obj_shards == {"slow": 1}
+
+    def test_slow_shard_floor_skips_the_fast_shard(self):
+        client, clock, _ = make_client(
+            [
+                ok_on(1),  # teach slow -> shard 1
+                ok_on(0),  # teach fast -> shard 0
+                reject_shard("BACKPRESSURE", shard=1, retry_after_ms=500),
+                ok_on(0, lsi=6),
+                ok_on(1, lsi=7),
+            ],
+            attempts=1,
+        )
+        client.request("put", obj="slow", value="v")
+        client.request("put", obj="fast", value="v")
+        # One attempt only: the rejection raises, leaving the floor up.
+        with pytest.raises(BackpressureError):
+            client.request("put", obj="slow", value="v")
+        assert 1 in client._shard_floors
+        before = list(clock.sleeps)
+        # The fast shard's request does not wait the slow shard's floor.
+        assert client.request("put", obj="fast", value="v")["lsi"] == 6
+        assert clock.sleeps == before
+        # The slow shard's own next request does.
+        assert client.request("put", obj="slow", value="v")["lsi"] == 7
+        assert clock.sleeps == before + [pytest.approx(0.5)]
+
+    def test_shardless_hint_keeps_whole_client_behavior(self):
+        client, clock, _ = make_client(
+            [reject("BACKPRESSURE", retry_after_ms=500), OK]
+        )
+        client.request("put", obj="x", value="v")
+        # Legacy behavior: the hint is the floor of the one pause.
+        assert clock.sleeps == [0.5]
+        assert client._shard_floors == {}
+
+    def test_expired_floor_costs_nothing(self):
+        client, clock, _ = make_client(
+            [ok_on(1), ok_on(1)], attempts=1
+        )
+        client.request("put", obj="slow", value="v")
+        client._shard_floors[1] = clock.now - 1.0  # already expired
+        client.request("put", obj="slow", value="v")
+        assert clock.sleeps == []
+        assert client._shard_floors == {}
+
+    def test_floor_wait_capped_by_deadline_budget(self):
+        client, clock, _ = make_client(
+            [reject_shard("BACKPRESSURE", shard=1, retry_after_ms=60_000)],
+            attempts=3,
+            deadline=1.0,
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.request("put", obj="slow", value="v")
+        # No single sleep (pause or floor gate) exceeded the budget.
+        assert all(s <= 1.0 + 1e-9 for s in clock.sleeps)
+        assert clock.now <= 1.5
+
+    def test_unrouted_requests_skip_the_floor_gate(self):
+        client, clock, _ = make_client([ok_on(1), OK], attempts=1)
+        client.request("put", obj="slow", value="v")
+        client._shard_floors[1] = clock.now + 99.0
+        # A request with no obj (ping/apply) has no learned shard and
+        # must not trip over any floor.
+        client.request("ping")
+        assert clock.sleeps == []

@@ -1,0 +1,92 @@
+"""Router stability: the object→shard assignment is an upgrade contract.
+
+Each shard owns its own WAL, so the assignment of objects to shards
+must be byte-identical across process restarts, Python versions and
+hosts — a silent hash change would point recovery at the wrong
+per-shard log.  The snapshots below are **literals**: if they ever
+fail, the routing function changed, and shipping that change corrupts
+every deployed sharded data directory.  Do not "fix" the literals
+without a migration story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import ShardRouter
+
+KEYS = (
+    [f"acct:{i}" for i in range(8)]
+    + [f"wl:obj{i}" for i in range(8)]
+    + ["alpha", "beta", "gamma", "delta", "fence", "shard", "router", "wal"]
+)
+
+# Generated once from zlib.crc32(key.encode("utf-8")) % shards.  These
+# are the contract, not a regression baseline — see module docstring.
+SNAPSHOT_2 = {
+    "acct:0": 1, "acct:1": 1, "acct:2": 1, "acct:3": 1,
+    "acct:4": 0, "acct:5": 0, "acct:6": 0, "acct:7": 0,
+    "wl:obj0": 1, "wl:obj1": 1, "wl:obj2": 1, "wl:obj3": 1,
+    "wl:obj4": 0, "wl:obj5": 0, "wl:obj6": 0, "wl:obj7": 0,
+    "alpha": 0, "beta": 1, "gamma": 1, "delta": 1,
+    "fence": 0, "shard": 0, "router": 1, "wal": 0,
+}
+SNAPSHOT_4 = {
+    "acct:0": 1, "acct:1": 3, "acct:2": 1, "acct:3": 3,
+    "acct:4": 0, "acct:5": 2, "acct:6": 0, "acct:7": 2,
+    "wl:obj0": 3, "wl:obj1": 1, "wl:obj2": 3, "wl:obj3": 1,
+    "wl:obj4": 2, "wl:obj5": 0, "wl:obj6": 2, "wl:obj7": 0,
+    "alpha": 2, "beta": 3, "gamma": 1, "delta": 1,
+    "fence": 0, "shard": 0, "router": 1, "wal": 2,
+}
+SNAPSHOT_8 = {
+    "acct:0": 5, "acct:1": 3, "acct:2": 1, "acct:3": 7,
+    "acct:4": 4, "acct:5": 2, "acct:6": 0, "acct:7": 6,
+    "wl:obj0": 7, "wl:obj1": 1, "wl:obj2": 3, "wl:obj3": 5,
+    "wl:obj4": 6, "wl:obj5": 0, "wl:obj6": 2, "wl:obj7": 4,
+    "alpha": 2, "beta": 3, "gamma": 1, "delta": 1,
+    "fence": 0, "shard": 4, "router": 5, "wal": 2,
+}
+
+
+class TestAssignmentSnapshot:
+    @pytest.mark.parametrize(
+        "shards,snapshot",
+        [(2, SNAPSHOT_2), (4, SNAPSHOT_4), (8, SNAPSHOT_8)],
+    )
+    def test_assignment_matches_literal(self, shards, snapshot):
+        assert ShardRouter(shards).assignment(KEYS) == snapshot
+
+    def test_single_shard_owns_everything(self):
+        assert set(ShardRouter(1).assignment(KEYS).values()) == {0}
+
+
+class TestRouterBehavior:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_stable_across_instances(self):
+        a, b = ShardRouter(4), ShardRouter(4)
+        for key in KEYS:
+            assert a.shard_of(key) == b.shard_of(key)
+
+    def test_shards_of_is_the_union(self):
+        router = ShardRouter(4)
+        objs = ["acct:0", "acct:4", "alpha"]  # shards 1, 0, 2
+        assert router.shards_of(objs) == {0, 1, 2}
+
+    def test_partition_groups_by_owner(self):
+        router = ShardRouter(2)
+        buckets = router.partition(KEYS)
+        assert set(buckets) <= {0, 1}
+        for shard, objs in buckets.items():
+            for obj in objs:
+                assert router.shard_of(obj) == shard
+        assert sum(len(objs) for objs in buckets.values()) == len(KEYS)
+
+    def test_every_shard_reachable(self):
+        # crc32 spread: a modest key universe touches all 8 shards.
+        router = ShardRouter(8)
+        owners = {router.shard_of(f"spread:{i}") for i in range(200)}
+        assert owners == set(range(8))
