@@ -7,12 +7,15 @@ trajectory against the committed one::
 
 A *lane* is a dict carrying an ``ops_per_sec`` value (higher is
 better), any numeric ``acked_per_s*`` entry (higher is better — the
-serving-throughput lanes E12/E13 record), or any numeric
+serving-throughput lanes E12/E13 record), any numeric
 ``seconds_per_*`` entry (lower is better — the recovery-attempt
-wall-time lanes E11 records), addressed by its dotted path (e.g.
-``graph_maintenance.indexed.75% logical@1000``,
-``serving_throughput.acked_per_s`` or
-``recovery_telemetry.seconds_per_attempt``).  Lanes marked
+wall-time lanes E11 records), or any numeric ``c3_*`` entry (lower is
+better — the storage cost counters E14 records; the log-structured
+lanes pin several of these at zero), addressed by its dotted path
+(e.g. ``graph_maintenance.indexed.75% logical@1000``,
+``serving_throughput.acked_per_s``,
+``recovery_telemetry.seconds_per_attempt`` or
+``backend_costs.logstore+batch.c3_identity_writes``).  Lanes marked
 ``"extrapolated": true`` were never measured and are skipped.  Only
 lanes present in **both** files are compared — the smoke run measures a
 subset of the committed full-size lanes, and a brand-new lane has no
@@ -44,8 +47,8 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
 
     ``ops_per_sec`` dicts yield higher-is-better lanes at the dict's
     own path; numeric ``acked_per_s*`` keys yield higher-is-better
-    lanes and ``seconds_per_*`` keys lower-is-better lanes, both at
-    ``<path>.<key>``.
+    lanes and ``seconds_per_*`` / ``c3_*`` keys lower-is-better lanes,
+    all at ``<path>.<key>``.
     """
     lanes: Dict[str, Lane] = {}
     if not isinstance(data, dict):
@@ -67,7 +70,7 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
         if str(key).startswith("acked_per_s"):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), True)
-        elif str(key).startswith("seconds_per_"):
+        elif str(key).startswith(("seconds_per_", "c3_")):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), False)
     return lanes
@@ -104,7 +107,12 @@ def compare(
             )
             continue
         old, _ = _as_lane(baseline[lane])
-        change = (new - old) / old if old else 0.0
+        if old:
+            change = (new - old) / old
+        else:
+            # A zero baseline is a pinned claim for lower-is-better
+            # lanes (the E14 zero-cost counters): any rise regresses.
+            change = float("inf") if new > 0 else 0.0
         line = (
             f"{lane}: {_fmt(old, higher_better)} -> "
             f"{_fmt(new, higher_better)} ({change:+.1%})"

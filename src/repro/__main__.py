@@ -26,7 +26,9 @@
 * ``serve --data-dir PATH`` — run the long-lived daemon itself:
   supervised recovery over whatever the directory contains, then
   health-gated serving with deadlines, backpressure, a ``/metrics`` +
-  ``/healthz`` endpoint, graceful SIGTERM drain.  ``--shards N`` serves
+  ``/healthz`` endpoint, graceful SIGTERM drain.  ``--store`` selects
+  the durable store backend (``file`` or ``logstore``; reopen with the
+  backend that created the directory).  ``--shards N`` serves
   a sharded topology: N recovery domains with per-shard WAL streams
   under ``data-dir/shard-K``, per-shard admission gates and watchdogs,
   and fence-protocol cross-shard operations.
@@ -68,9 +70,8 @@ from repro.domains import (
 from repro.kernel.system import SystemConfig
 from repro.kernel.torture import TortureConfig, TortureHarness, TortureReport
 from repro.obs import MetricsRegistry, dump_jsonl, load_jsonl, render_prometheus
-from repro.persist.faulty import FaultyFileLog, FaultyFileStore
+from repro.persist.faulty_log import FaultyFileLog
 from repro.persist.file_log import FileLogManager
-from repro.persist.file_store import FileStableStore
 from repro.serve import (
     DaemonConfig,
     LiveFireConfig,
@@ -84,6 +85,12 @@ from repro.serve import (
 )
 from repro.shard import ShardedSystem
 from repro.storage.faults import FaultModel, FuzzRates
+from repro.storage.registry import (
+    make_store,
+    recommended_cache_config,
+    resolve_backend,
+    store_backends,
+)
 from repro.workloads import register_workload_functions
 
 
@@ -132,10 +139,13 @@ def demo() -> int:
 
 
 def _torture_config(args: argparse.Namespace) -> TortureConfig:
+    backend = getattr(args, "store", "memory")
     return TortureConfig(
         objects=args.objects,
         operations=args.ops,
         workload_seed=args.workload_seed,
+        store_backend=backend,
+        cache_factory=lambda: recommended_cache_config(backend),
     )
 
 
@@ -268,6 +278,7 @@ def torture_v3(args: argparse.Namespace) -> int:
 def _shard_components(args: argparse.Namespace, index: int):
     """Store + log for one shard, under ``data-dir/shard-<index>``."""
     shard_dir = os.path.join(args.data_dir, f"shard-{index}")
+    backend = getattr(args, "store", "file")
     if args.fault_seed is not None:
         model = FaultModel.fuzz(
             args.fault_seed + index,
@@ -277,10 +288,10 @@ def _shard_components(args: argparse.Namespace, index: int):
                 corrupt=args.p_corrupt,
             ),
         )
-        return FaultyFileStore(shard_dir, model), FaultyFileLog(
+        return make_store(backend, shard_dir, model=model), FaultyFileLog(
             shard_dir, model
         )
-    return FileStableStore(shard_dir), FileLogManager(shard_dir)
+    return make_store(backend, shard_dir), FileLogManager(shard_dir)
 
 
 def torture_v4(args: argparse.Namespace) -> int:
@@ -316,6 +327,7 @@ def torture_v4(args: argparse.Namespace) -> int:
 
 def serve_daemon(args: argparse.Namespace) -> int:
     system_config = SystemConfig(
+        cache=recommended_cache_config(args.store),
         group_commit=args.group_commit,
         group_commit_interval_ms=args.group_commit_interval_ms,
     )
@@ -367,10 +379,10 @@ def serve_daemon(args: argparse.Namespace) -> int:
                 corrupt=args.p_corrupt,
             ),
         )
-        store = FaultyFileStore(args.data_dir, model)
+        store = make_store(args.store, args.data_dir, model=model)
         log = FaultyFileLog(args.data_dir, model)
     else:
-        store = FileStableStore(args.data_dir)
+        store = make_store(args.store, args.data_dir)
         log = FileLogManager(args.data_dir)
     system = RecoverableSystem(system_config, store=store, log=log)
     register_workload_functions(system.registry)
@@ -470,6 +482,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tsub = torture.add_subparsers(dest="mode", required=True)
 
+    backend_names = store_backends()
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--ops", type=int, default=20,
                        help="workload operations (default 20)")
@@ -477,6 +491,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="object population (default 5)")
         p.add_argument("--workload-seed", type=int, default=0,
                        help="workload/interleave seed (default 0)")
+        p.add_argument("--store", default="memory", choices=backend_names,
+                       help="stable-store backend under torture "
+                       "(default memory)")
         p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write campaign telemetry (JSONL) to PATH")
 
@@ -561,6 +578,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--data-dir", required=True,
                        help="database directory (created if missing)")
+    serve.add_argument("--store", default="file",
+                       choices=[name for name in store_backends()
+                                if resolve_backend(name).requires_root],
+                       help="durable store backend for the data "
+                       "directory (default file; a directory must be "
+                       "reopened with the backend that created it)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="request port (default 0 = ephemeral)")

@@ -41,6 +41,8 @@ that the escalation ladder converges to the verified state
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -70,9 +72,9 @@ from repro.storage.faults import (
     FaultKind,
     FaultModel,
     FaultSpec,
-    FaultyStore,
     FuzzRates,
 )
+from repro.storage.registry import make_store, resolve_backend
 from repro.wal.faulty_log import FaultyLog
 from repro.workloads import (
     LogicalWorkload,
@@ -120,6 +122,12 @@ class TortureConfig:
     p_force: float = 0.4
     p_purge: float = 0.3
     workload_seed: int = 0
+    #: Stable-store backend under torture, resolved through
+    #: :func:`repro.storage.make_store` with the run's fault model
+    #: attached.  Durable backends get a fresh scratch directory per
+    #: run (removed when the run's verdict is in), so the campaign
+    #: tortures the real on-disk read/write/scrub paths.
+    store_backend: str = "memory"
     #: Fresh cache config per run (configs hold stateful mechanisms).
     cache_factory: Callable[[], CacheConfig] = CacheConfig
     #: Torture v2: the supervisor's attempt budget per run.  Generous by
@@ -184,6 +192,9 @@ class TortureHarness:
     ) -> None:
         self.config = config if config is not None else TortureConfig()
         self._totals: Dict[str, int] = {}
+        #: Scratch directories backing durable-store runs; reclaimed
+        #: after each run's verdict (the store dies with the run).
+        self._scratch_roots: List[str] = []
         #: Optional shared registry: every system the campaign builds
         #: attaches it, so spans and histograms accumulate across runs.
         self.obs = metrics
@@ -191,10 +202,22 @@ class TortureHarness:
     # ------------------------------------------------------------------
     # one run
     # ------------------------------------------------------------------
+    def _build_store(self, model: FaultModel):
+        backend = self.config.store_backend
+        root = None
+        if resolve_backend(backend).requires_root:
+            root = tempfile.mkdtemp(prefix="repro-torture-")
+            self._scratch_roots.append(root)
+        return make_store(backend, root, model=model)
+
+    def _reclaim_scratch(self) -> None:
+        while self._scratch_roots:
+            shutil.rmtree(self._scratch_roots.pop(), ignore_errors=True)
+
     def _build_system(self, model: FaultModel) -> RecoverableSystem:
         system = RecoverableSystem(
             SystemConfig(cache=self.config.cache_factory()),
-            store=FaultyStore(model),
+            store=self._build_store(model),
             log=FaultyLog(model),
         )
         register_workload_functions(system.registry)
@@ -258,6 +281,7 @@ class TortureHarness:
             outcome.ok = False
             outcome.error = f"{type(exc).__name__}: {exc}"
         self._accumulate(system)
+        self._reclaim_scratch()
         return outcome
 
     def _accumulate(self, system: RecoverableSystem) -> None:
@@ -277,6 +301,7 @@ class TortureHarness:
         model = FaultModel()
         system = self._build_system(model)
         self._drive(system)
+        self._reclaim_scratch()
         return model.next_point
 
     def sweep(self) -> TortureReport:
@@ -345,6 +370,7 @@ class TortureHarness:
         system.crash()
         model.enter_phase(RECOVERY_PHASE)
         system.recover(quarantine_backup=backup)
+        self._reclaim_scratch()
         return model.points_in(RECOVERY_PHASE)
 
     def _one_recovery_run(
@@ -397,6 +423,7 @@ class TortureHarness:
             outcome.error = f"{type(exc).__name__}: {exc}"
             outcome.failure_report = report
         self._accumulate(system)
+        self._reclaim_scratch()
         return outcome
 
     def sweep_recovery(self) -> TortureReport:

@@ -2,29 +2,34 @@
 
 Everything else in the library simulates stable storage in memory —
 ideal for experiments, useless for actually keeping data.  This package
-provides file-backed implementations of the two stable components and a
-facade that opens (and recovers) a database directory:
+provides the file-backed WAL and a facade that opens (and recovers) a
+database directory:
 
-* :class:`~repro.persist.file_store.FileStableStore` — one file per
-  object, written via temp-file + atomic rename + fsync, so a single
-  object write is crash-atomic (the simulator's ``write``), and a
-  multi-object raw write is exactly as tearable as the paper assumes;
 * :class:`~repro.persist.file_log.FileLogManager` — an append-only
   record file; ``force`` appends and fsyncs, a torn tail (partial last
   record) is detected by length-prefix + checksum and truncated away on
   open, which matches the volatile-buffer-loss model;
 * :class:`~repro.persist.database.PersistentSystem` — ``open(path)``
-  wires both, replays recovery, and hands back a fully recovered
-  :class:`~repro.kernel.system.RecoverableSystem`.
+  wires a durable store and the file log, replays recovery, and hands
+  back a fully recovered
+  :class:`~repro.kernel.system.RecoverableSystem`.  The store backend
+  is selected by name (``store_backend="file"`` or ``"logstore"``) via
+  :func:`repro.storage.make_store`.
+
+The durable *stores* live on the canonical storage surface,
+:mod:`repro.storage` (:class:`~repro.storage.file_store.FileStableStore`,
+:class:`~repro.storage.logstore.LogStructuredStableStore`); they are
+re-exported here for compatibility, as are the fault-injecting variants.
 
 Serialization is :mod:`pickle`: appropriate for a research system that
 opens only its own files; do not open untrusted database directories.
 """
 
-from repro.persist.file_store import FileStableStore
+from repro.storage.file_store import FileStableStore
+from repro.storage.faultwrap import FaultyFileStore
 from repro.persist.file_log import FileLogManager
+from repro.persist.faulty_log import FaultyFileLog
 from repro.persist.database import PersistentSystem
-from repro.persist.faulty import FaultyFileLog, FaultyFileStore
 
 __all__ = [
     "FaultyFileLog",

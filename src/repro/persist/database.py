@@ -47,7 +47,7 @@ from repro.kernel.supervisor import RecoverySupervisor, SupervisorConfig
 from repro.kernel.system import RecoverableSystem, SystemConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.persist.file_log import FileLogManager
-from repro.persist.file_store import FileStableStore
+from repro.storage.registry import make_store
 
 
 class PersistentSystem:
@@ -61,10 +61,11 @@ class PersistentSystem:
         domains: Iterable[Callable[[FunctionRegistry], None]] = (),
         supervisor_config: Optional[SupervisorConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store_backend: str = "file",
     ) -> RecoverableSystem:
         """Open (creating if needed) the database directory ``path``.
 
-        Runs crash recovery over the directory's WAL and object files
+        Runs crash recovery over the directory's WAL and durable store
         and returns the recovered system.  ``domains`` are
         function-registration callables (e.g.
         ``register_filesystem_functions``) invoked on the registry
@@ -77,11 +78,18 @@ class PersistentSystem:
         ``metrics`` attaches a :class:`~repro.obs.metrics.MetricsRegistry`
         before recovery runs, so the open-time recovery's phase spans
         and latencies are captured too.
+
+        ``store_backend`` names the durable store laid out under
+        ``path``, resolved through :func:`repro.storage.make_store`:
+        ``"file"`` (the default; one file per object) or ``"logstore"``
+        (append-only segments).  A directory must be reopened with the
+        backend that created it — the layouts are disjoint, so opening
+        with the wrong backend sees an empty store.
         """
         registry = registry if registry is not None else default_registry()
         for register in domains:
             register(registry)
-        store = FileStableStore(path)
+        store = make_store(store_backend, path)
         log = FileLogManager(path)
         system = RecoverableSystem(
             config=config, registry=registry, store=store, log=log

@@ -1,135 +1,24 @@
-"""Fault-injecting variants of the file-backed stable components.
+"""Deprecated location of the file-backed fault-injecting components.
 
-These mirror :class:`~repro.storage.faults.FaultyStore` /
-:class:`~repro.wal.faulty_log.FaultyLog` but damage *real files*, so the
-detection machinery being exercised is the on-disk CRC framing rather
-than the in-memory checksum map:
-
-* :class:`FaultyFileStore` — transient write/delete errors (retried by
-  the base class), torn object files (a prefix of the frame lands),
-  silent bit rot inside a written frame's payload;
-* :class:`FaultyFileLog` — transient force errors and torn log appends
-  (the final record of a force lands half-written; reopening — or the
-  in-process ``crash()`` that simulates it — repairs the tail).
-
-Damage lands on disk while the in-memory maps keep the intended
-version, exactly like a real page cache over a failing device: the
-damage is invisible until something re-reads the platter, which is what
-:meth:`FileStableStore.scrub` and the WAL's open-time tail check do.
-
-Faulting *recovery itself* is supported the same way as in the
-in-memory layer: switch the model's phase
-(``model.enter_phase(RECOVERY_PHASE)``) before recovering and drive it
-through a :class:`~repro.kernel.supervisor.RecoverySupervisor`, which
-restarts crashed attempts and escalates persistent damage.  Disarm the
-model (``model.armed = False``) only around final verification — the
-torture harness does — so the verdict itself is never faulted.
+:class:`FaultyFileStore` moved to :mod:`repro.storage.faultwrap` (one
+store-agnostic fault wrapper for every backend) and
+:class:`FaultyFileLog` to :mod:`repro.persist.faulty_log`.  This module
+re-exports both and will be removed in a future major release.
 """
 
 from __future__ import annotations
 
-import os
-from typing import List, Optional
+import warnings
 
-from repro.common.identifiers import ObjectId
-from repro.persist.file_log import FileLogManager
-from repro.persist.file_store import (
-    FileStableStore,
-    _HEADER,
-    _MAGIC,
-    _encode,
+warnings.warn(
+    "repro.persist.faulty is deprecated; import FaultyFileStore from "
+    "repro.storage (or build it via repro.storage.make_store with a "
+    "FaultModel) and FaultyFileLog from repro.persist",
+    DeprecationWarning,
+    stacklevel=2,
 )
-from repro.storage.faults import FaultCrash, FaultKind, FaultModel
-from repro.storage.stats import IOStats
-from repro.wal.records import LogRecord
 
+from repro.persist.faulty_log import FaultyFileLog  # noqa: E402,F401
+from repro.storage.faultwrap import FaultyFileStore  # noqa: E402,F401
 
-class FaultyFileStore(FileStableStore):
-    """A FileStableStore whose device obeys a :class:`FaultModel`."""
-
-    def __init__(
-        self, root: str, model: FaultModel, stats: Optional[IOStats] = None
-    ) -> None:
-        self.model = model
-        super().__init__(root, stats)
-
-    def _write_frame(self, obj: ObjectId, frame: bytes) -> None:
-        spec = self.model.fire(
-            "file-store.write",
-            obj,
-            can=frozenset({FaultKind.TORN, FaultKind.CORRUPT}),
-            stats=self.stats,
-        )
-        if spec is None:
-            super()._write_frame(obj, frame)
-            return
-        if spec.kind is FaultKind.TORN:
-            # The rename landed but only a prefix of the bytes did —
-            # the one failure the temp+rename dance cannot rule out on
-            # a device that acknowledges early.
-            path = os.path.join(self._dir, _encode(obj))
-            with open(path, "wb") as handle:
-                handle.write(frame[: max(1, len(frame) // 2)])
-                handle.flush()
-                os.fsync(handle.fileno())
-        else:  # CORRUPT: the write completed, then the medium rotted.
-            super()._write_frame(obj, frame)
-            self._rot(obj, spec.point)
-        self.model.crash_if_demanded(spec)
-
-    def _rot(self, obj: ObjectId, point: int) -> None:
-        """Flip one payload bit of the stored frame, checksum left stale."""
-        path = os.path.join(self._dir, _encode(obj))
-        prefix = len(_MAGIC) + _HEADER.size
-        with open(path, "r+b") as handle:
-            data = handle.read()
-            flip = prefix + point % max(1, len(data) - prefix)
-            handle.seek(flip)
-            handle.write(bytes([data[flip] ^ 0x40]))
-            handle.flush()
-            os.fsync(handle.fileno())
-
-    def _unlink(self, obj: ObjectId) -> None:
-        self.model.fire("file-store.delete", obj, stats=self.stats)
-        super()._unlink(obj)
-
-
-class FaultyFileLog(FileLogManager):
-    """A FileLogManager whose force path obeys a :class:`FaultModel`."""
-
-    def __init__(
-        self, root: str, model: FaultModel, stats: Optional[IOStats] = None
-    ) -> None:
-        self.model = model
-        super().__init__(root, stats)
-
-    def _write_stable(self, pending: List[LogRecord]) -> None:
-        spec = self.model.fire(
-            "log.force",
-            f"{len(pending)} records",
-            can=frozenset({FaultKind.TORN}),
-            stats=self.stats,
-        )
-        if spec is None:
-            super()._write_stable(pending)
-            return
-        # Torn force: every record but the last lands whole, the last
-        # lands as half a frame, and the machine dies mid-force — a torn
-        # log write is only ever *observed* because of a crash; had the
-        # process lived, the force would have completed or errored.
-        landed = pending[: len(pending) - 1]
-        super()._write_stable(landed)
-        if pending:
-            frame = self._frame(pending[-1])
-            with open(self.path, "ab") as handle:
-                handle.write(frame[: max(1, len(frame) // 2)])
-                handle.flush()
-                os.fsync(handle.fileno())
-        raise FaultCrash(f"machine lost mid-force ({spec.describe()})")
-
-    def crash(self) -> None:
-        super().crash()
-        # A machine restart reopens the file and repairs the torn tail;
-        # the in-process equivalent is rewriting the file to the good
-        # frames the in-memory stable log kept.
-        self._rewrite()
+__all__ = ["FaultyFileLog", "FaultyFileStore"]

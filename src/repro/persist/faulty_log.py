@@ -1,0 +1,66 @@
+"""Fault-injecting variant of the file-backed WAL.
+
+Mirrors :class:`~repro.wal.faulty_log.FaultyLog` but damages the *real
+log file*, so the detection machinery being exercised is the on-disk
+frame checksum rather than the in-memory model:
+
+* transient force errors (retried by the hardened force path);
+* torn log appends — the final record of a force lands half-written;
+  reopening (or the in-process ``crash()`` that simulates it) repairs
+  the tail.
+
+The fault-injecting *stores* live in :mod:`repro.storage.faultwrap`;
+only the WAL-side wrapper lives here because the file log itself is a
+:mod:`repro.persist` component.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.persist.file_log import FileLogManager
+from repro.storage.faults import FaultCrash, FaultKind, FaultModel
+from repro.storage.stats import IOStats
+from repro.wal.records import LogRecord
+
+
+class FaultyFileLog(FileLogManager):
+    """A FileLogManager whose force path obeys a :class:`FaultModel`."""
+
+    def __init__(
+        self, root: str, model: FaultModel, stats: Optional[IOStats] = None
+    ) -> None:
+        self.model = model
+        super().__init__(root, stats)
+
+    def _write_stable(self, pending: List[LogRecord]) -> None:
+        spec = self.model.fire(
+            "log.force",
+            f"{len(pending)} records",
+            can=frozenset({FaultKind.TORN}),
+            stats=self.stats,
+        )
+        if spec is None:
+            super()._write_stable(pending)
+            return
+        # Torn force: every record but the last lands whole, the last
+        # lands as half a frame, and the machine dies mid-force — a torn
+        # log write is only ever *observed* because of a crash; had the
+        # process lived, the force would have completed or errored.
+        landed = pending[: len(pending) - 1]
+        super()._write_stable(landed)
+        if pending:
+            frame = self._frame(pending[-1])
+            with open(self.path, "ab") as handle:
+                handle.write(frame[: max(1, len(frame) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+        raise FaultCrash(f"machine lost mid-force ({spec.describe()})")
+
+    def crash(self) -> None:
+        super().crash()
+        # A machine restart reopens the file and repairs the torn tail;
+        # the in-process equivalent is rewriting the file to the good
+        # frames the in-memory stable log kept.
+        self._rewrite()

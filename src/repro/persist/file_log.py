@@ -22,7 +22,7 @@ import zlib
 from typing import List, Optional
 
 from repro.common.identifiers import StateId
-from repro.persist.file_store import _fsync_dir
+from repro.storage.framing import fsync_dir as _fsync_dir
 from repro.storage.stats import IOStats
 from repro.wal.log_manager import LogManager
 from repro.wal.records import LogRecord, OperationRecord

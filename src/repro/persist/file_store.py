@@ -1,345 +1,34 @@
-"""File-backed stable store: one file per object, crash-atomic writes.
+"""Deprecated location of :class:`FileStableStore`.
 
-Each object version ``(value, vSI)`` is written to
-``<root>/objects/<encoded-id>.obj`` as a checksummed frame —
-``magic || [length][crc32] || pickle bytes``, mirroring the WAL's frame
-format — via the classic temp-file + fsync + atomic-rename dance, so a
-single-object write either fully lands or fully doesn't — exactly the
-atomicity granule the paper's model assumes.  Multi-object writes
-issued with ``atomic=False`` go one rename at a time and can genuinely
-tear across a process crash.
-
-The framing is the detection layer: a torn or bit-rotted object file
-fails its length/checksum test on load and is **quarantined** (moved to
-``<root>/quarantine/``) instead of raising a bare unpickling error or
-silently returning garbage; recovery then replays the object from the
-log (see ``RecoverableSystem.recover``'s quarantine fallback).
-
-Durability detail that the original rename dance missed: ``os.replace``
-and ``os.unlink`` mutate the *directory*, and a metadata-losing crash
-can undo them unless the directory itself is fsynced — so every rename
-and unlink here is followed by :func:`_fsync_dir`.
-
-Object ids are percent-encoded into file names (ids contain ``:`` and
-may contain ``/``).
+The file-backed store moved to :mod:`repro.storage.file_store` (the
+storage surface is consolidated under ``repro.storage``; construct
+backends via :func:`repro.storage.make_store`).  This module re-exports
+the old names and will be removed in a future major release.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import struct
-import tempfile
-import urllib.parse
-import zlib
-from typing import Any, Dict, List, Optional, Tuple
+import warnings
 
-from repro.common.errors import CorruptObjectError
-from repro.common.identifiers import NULL_SI, ObjectId, StateId
-from repro.common.retry import retry_transient
-from repro.storage.stable_store import StableStore, StoredVersion
-from repro.storage.stats import IOStats
+warnings.warn(
+    "repro.persist.file_store is deprecated; import FileStableStore from "
+    "repro.storage (or construct it via repro.storage.make_store)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-_SUFFIX = ".obj"
-_MAGIC = b"ROBJ1\n"
-_HEADER = struct.Struct("<II")  # payload length, crc32
-_MARKER_NAME = "media_redo_pending.marker"
-#: Value field stored in the marker frame (the vSI slot carries the
-#: pending redo-start StateId).
-_MARKER_TAG = "media-redo-pending"
+from repro.storage.file_store import (  # noqa: E402,F401
+    FileStableStore,
+    _HEADER,
+    _MAGIC,
+    _MARKER_NAME,
+    _MARKER_TAG,
+    _SUFFIX,
+    _decode,
+    _encode,
+    _frame,
+    _fsync_dir,
+    _unframe,
+)
 
-
-def _encode(obj: ObjectId) -> str:
-    return urllib.parse.quote(obj, safe="") + _SUFFIX
-
-
-def _decode(filename: str) -> ObjectId:
-    return urllib.parse.unquote(filename[: -len(_SUFFIX)])
-
-
-def _fsync_dir(path: str) -> None:
-    """fsync a directory so renames/unlinks inside it are durable.
-
-    Platforms that cannot open directories for fsync (some filesystems
-    refuse) are tolerated: the rename itself still happened, and the
-    simulator's correctness does not depend on the host's metadata
-    journaling — this is the real-deployment hardening.
-    """
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
-    finally:
-        os.close(fd)
-
-
-def _frame(value: Any, vsi: StateId) -> bytes:
-    """Serialize one version as a checksummed frame."""
-    payload = pickle.dumps((value, vsi))
-    return _MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-
-
-def _unframe(data: bytes, origin: str) -> Tuple[Any, StateId]:
-    """Parse a frame, raising :class:`CorruptObjectError` on any damage."""
-    if not data.startswith(_MAGIC):
-        raise CorruptObjectError(f"{origin}: bad magic (torn or foreign file)")
-    body = data[len(_MAGIC) :]
-    if len(body) < _HEADER.size:
-        raise CorruptObjectError(f"{origin}: truncated header")
-    length, checksum = _HEADER.unpack_from(body, 0)
-    payload = body[_HEADER.size : _HEADER.size + length]
-    if len(payload) < length:
-        raise CorruptObjectError(f"{origin}: truncated payload (torn write)")
-    if zlib.crc32(payload) != checksum:
-        raise CorruptObjectError(f"{origin}: checksum mismatch (bit rot)")
-    try:
-        value, vsi = pickle.loads(payload)
-    except Exception as exc:
-        raise CorruptObjectError(f"{origin}: undecodable payload: {exc}")
-    return value, vsi
-
-
-class FileStableStore(StableStore):
-    """A StableStore whose contents live under ``root/objects``.
-
-    The in-memory version map acts as a read cache over the files; the
-    files are the durable truth and are reloaded on construction.
-    Corrupt files discovered at load time are quarantined immediately
-    and surfaced through :meth:`scrub` so the recovery path replays
-    them from the log.
-    """
-
-    def __init__(self, root: str, stats: Optional[IOStats] = None) -> None:
-        super().__init__(stats)
-        self.root = root
-        self._dir = os.path.join(root, "objects")
-        self._quarantine_dir = os.path.join(root, "quarantine")
-        self._marker_path = os.path.join(root, _MARKER_NAME)
-        os.makedirs(self._dir, exist_ok=True)
-        #: Objects quarantined but not yet reported through scrub():
-        #: obj -> reason.  Load-time detections land here.
-        self._pending_quarantine: Dict[ObjectId, str] = {}
-        self._load()
-        self._media_pending: Optional[StateId] = self._load_marker()
-
-    def _load(self) -> None:
-        for name in sorted(os.listdir(self._dir)):
-            if not name.endswith(_SUFFIX):
-                continue
-            obj = _decode(name)
-            path = os.path.join(self._dir, name)
-            with open(path, "rb") as handle:
-                data = handle.read()
-            try:
-                value, vsi = _unframe(data, f"object file {name}")
-            except CorruptObjectError as exc:
-                self.stats.checksum_failures += 1
-                self._quarantine_file(name)
-                self._pending_quarantine[obj] = str(exc)
-                continue
-            # Populate the base map directly: loading is not an I/O
-            # event of the simulated workload.
-            self._versions[obj] = StoredVersion(value, vsi)
-
-    def _quarantine_file(self, name: str) -> None:
-        os.makedirs(self._quarantine_dir, exist_ok=True)
-        source = os.path.join(self._dir, name)
-        if os.path.exists(source):
-            os.replace(source, os.path.join(self._quarantine_dir, name))
-            _fsync_dir(self._quarantine_dir)
-            _fsync_dir(self._dir)
-
-    # ------------------------------------------------------------------
-    # restore-pending marker (restartable media recovery across cold
-    # process restarts)
-    # ------------------------------------------------------------------
-    @property
-    def media_redo_pending(self) -> Optional[StateId]:
-        """The persisted restore-pending marker (see the base class).
-
-        Unlike the in-memory store's attribute, this survives a cold
-        process restart: a recovery that crashed between its media
-        restore and the completion of the widened redo leaves the
-        marker file on disk, so the next process's recovery re-widens
-        instead of narrowly replaying over the stale restored version.
-        """
-        return self._media_pending
-
-    @media_redo_pending.setter
-    def media_redo_pending(self, value: Optional[StateId]) -> None:
-        if value == self._media_pending:
-            return
-        self._media_pending = value
-        if value is None:
-            retry_transient(
-                self._unlink_marker,
-                stats=self.stats,
-                what="clear media-redo marker",
-            )
-        else:
-            retry_transient(
-                lambda: self._write_marker(value),
-                stats=self.stats,
-                what="write media-redo marker",
-            )
-
-    def _load_marker(self) -> Optional[StateId]:
-        if not os.path.exists(self._marker_path):
-            return None
-        with open(self._marker_path, "rb") as handle:
-            data = handle.read()
-        try:
-            tag, pending = _unframe(data, "media-redo-pending marker")
-        except CorruptObjectError:
-            # A torn marker write still proves a media restore was in
-            # flight; widen maximally (replay the whole retained log) —
-            # the safe direction.
-            self.stats.checksum_failures += 1
-            return NULL_SI + 1
-        if tag != _MARKER_TAG or not isinstance(pending, int):
-            return NULL_SI + 1
-        return pending
-
-    def _write_marker(self, pending: StateId) -> None:
-        frame = _frame(_MARKER_TAG, pending)
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(frame)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self._marker_path)
-            _fsync_dir(self.root)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-
-    def _unlink_marker(self) -> None:
-        if os.path.exists(self._marker_path):
-            os.unlink(self._marker_path)
-            _fsync_dir(self.root)
-
-    # ------------------------------------------------------------------
-    # durable write path
-    # ------------------------------------------------------------------
-    def _persist(self, obj: ObjectId, version: StoredVersion) -> None:
-        frame = _frame(version.value, version.vsi)
-        retry_transient(
-            lambda: self._write_frame(obj, frame),
-            stats=self.stats,
-            what=f"persist {obj!r}",
-        )
-
-    def _write_frame(self, obj: ObjectId, frame: bytes) -> None:
-        """One durable object-file replacement (the device touchpoint).
-
-        Overridden by the fault-injecting file store; transient failures
-        raised from here are re-driven whole by :meth:`_persist`.
-        """
-        final_path = os.path.join(self._dir, _encode(obj))
-        fd, tmp_path = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(frame)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, final_path)
-            _fsync_dir(self._dir)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
-
-    def write(self, obj: ObjectId, value: Any, vsi: StateId) -> None:
-        super().write(obj, value, vsi)
-        self._persist(obj, StoredVersion(value, vsi))
-
-    def write_many(self, versions, atomic: bool, count: bool = True) -> None:
-        if atomic:
-            # The caller used a real atomicity mechanism (our file
-            # granule is per object; a true multi-file atomic install
-            # would stage + manifest-swing, which the shadow mechanism
-            # models), so order does not matter.
-            super().write_many(versions, atomic, count)
-            for obj, version in versions.items():
-                self._persist(obj, version)
-            return
-        # Non-atomic: persist each object file at the moment of its
-        # in-memory write, so an injected crash between writes leaves
-        # disk and memory torn identically — real tearing semantics.
-        for obj, version in versions.items():
-            if self.mid_write_hook is not None:
-                self.mid_write_hook(obj)
-            if count:
-                self.stats.object_writes += 1
-            self._versions[obj] = version
-            self._persist(obj, version)
-
-    def delete(self, obj: ObjectId) -> None:
-        super().delete(obj)
-        retry_transient(
-            lambda: self._unlink(obj),
-            stats=self.stats,
-            what=f"unlink {obj!r}",
-        )
-
-    def _unlink(self, obj: ObjectId) -> None:
-        path = os.path.join(self._dir, _encode(obj))
-        if os.path.exists(path):
-            os.unlink(path)
-            _fsync_dir(self._dir)
-
-    # ------------------------------------------------------------------
-    # integrity
-    # ------------------------------------------------------------------
-    def scrub(self) -> List[ObjectId]:
-        """Re-verify every object file; return all failing objects.
-
-        Includes objects already quarantined at load time (their replay
-        is still owed) plus any damage that landed after load — e.g. a
-        fault-injected torn write whose in-memory copy looks fine.
-        """
-        bad = list(self._pending_quarantine)
-        for name in sorted(os.listdir(self._dir)):
-            if not name.endswith(_SUFFIX):
-                continue
-            path = os.path.join(self._dir, name)
-            with open(path, "rb") as handle:
-                data = handle.read()
-            try:
-                _unframe(data, f"object file {name}")
-            except CorruptObjectError:
-                self.stats.checksum_failures += 1
-                obj = _decode(name)
-                if obj not in bad:
-                    bad.append(obj)
-        return bad
-
-    def quarantine(self, obj: ObjectId) -> None:
-        super().quarantine(obj)
-        self._pending_quarantine.pop(obj, None)
-        self._quarantine_file(_encode(obj))
-
-    def restore_version(
-        self, obj: ObjectId, version: Optional[StoredVersion]
-    ) -> None:
-        super().restore_version(obj, version)
-        if version is None:
-            self._unlink(obj)
-        else:
-            self._persist(obj, version)
-
-    def restore_versions(self, versions) -> None:
-        """Media-recovery restore: replace the directory contents."""
-        for name in os.listdir(self._dir):
-            if name.endswith(_SUFFIX):
-                os.unlink(os.path.join(self._dir, name))
-        _fsync_dir(self._dir)
-        super().restore_versions(versions)
-        for obj, version in versions.items():
-            self._persist(obj, version)
+__all__ = ["FileStableStore"]

@@ -138,8 +138,43 @@ class FlushTransaction(AtomicFlushMechanism):
     ) -> None:
         store.stats.atomic_flushes += 1
         store.stats.quiesce_events += 1
+        # Every object's value is transferred twice: once into the log,
+        # then again in place — the double write the C3 comparison
+        # charges this mechanism for.
+        store.stats.flush_double_writes += len(versions)
         log.append_flush_transaction(versions)
         log.force()
         # In-place overwrites; torn writes here are repaired by recovery
         # replaying the committed flush transaction.
         store.write_many(versions, atomic=False)
+
+
+class LogStructuredInstall(AtomicFlushMechanism):
+    """Atomicity for free on a log-structured store.
+
+    When the store is itself an append-only log
+    (:class:`~repro.storage.logstore.LogStructuredStableStore`), a
+    multi-object flush lands as **one batch frame under one CRC**: the
+    whole set becomes readable exactly when the frame's checksum
+    verifies, so a crash anywhere inside the append leaves a torn frame
+    that the rebuild scan discards in full.  No shadow copies, no
+    pointer swing, no value double-write, no quiesce — the C3 costs the
+    paper charges the traditional mechanisms for simply have no place
+    to occur.
+
+    Usable only with a store whose ``write_many(atomic=True)`` is
+    genuinely a single-device-write install (the log-structured
+    backend); pairing it with an in-place store would silently assert
+    atomicity the device does not provide.
+    """
+
+    name = "log-structured"
+
+    def flush(
+        self,
+        store: StableStore,
+        versions: Mapping[ObjectId, StoredVersion],
+        log: FlushTransactionLog,
+    ) -> None:
+        store.stats.atomic_flushes += 1
+        store.write_many(versions, atomic=True)

@@ -21,10 +21,13 @@ correct in exactly that regime.  This module provides the adversary:
   forward run died.  Recovery-phase numbering is continuous across
   restarted recovery attempts: a spec at recovery point *k* fires in
   whichever attempt reaches it, exactly once;
-* :class:`FaultyStore` wraps the in-memory stable store with the model,
-  damaging stored versions for torn/corrupt faults and verifying a
-  per-object CRC32 on every read so the damage is *detected*, never
-  silently returned.
+* :class:`~repro.storage.faultwrap.FaultyStore` wraps the in-memory
+  stable store with the model, damaging stored versions for
+  torn/corrupt faults and verifying a per-object CRC32 on every read so
+  the damage is *detected*, never silently returned.  It lives in
+  :mod:`repro.storage.faultwrap` with the other fault-injecting
+  backends (one store-agnostic choreography for all of them) and is
+  re-exported here for compatibility.
 
 Fault vocabulary (the classic storage-fault taxonomy):
 
@@ -54,28 +57,21 @@ reproducible from one integer.
 from __future__ import annotations
 
 import enum
-import pickle
-import zlib
 from dataclasses import dataclass
 from typing import (
-    Any,
     Dict,
     FrozenSet,
     Iterable,
     List,
-    Mapping,
     Optional,
     Tuple,
 )
 
 from repro.common.errors import (
-    CorruptObjectError,
     SimulatedCrash,
     TransientStorageError,
 )
-from repro.common.identifiers import ObjectId, StateId
 from repro.common.rng import make_rng
-from repro.storage.stable_store import StableStore, StoredVersion
 from repro.storage.stats import IOStats
 
 
@@ -348,156 +344,26 @@ class FaultModel:
             raise FaultCrash(f"crash demanded by {spec.describe()}")
 
 
+
+
 # ----------------------------------------------------------------------
-# damage representation
+# compatibility: the fault-injecting stores moved to
+# repro.storage.faultwrap (one store-agnostic wrapper for every
+# backend).  Lazy re-export avoids a module cycle: faultwrap imports
+# the model machinery from here.
 # ----------------------------------------------------------------------
-def _checksum(version: StoredVersion) -> int:
-    """Integrity checksum of a stored version (value + vSI)."""
-    return zlib.crc32(pickle.dumps((version.value, version.vsi)))
+_MOVED = {
+    "FaultyStore": "FaultyStore",
+    "_checksum": "version_checksum",
+    "_damaged_value": "damaged_value",
+}
 
 
-def _damaged_value(value: Any, kind: FaultKind, point: int) -> bytes:
-    """A deterministic damaged variant of ``value``.
+def __getattr__(name: str):
+    if name in _MOVED:
+        from repro.storage import faultwrap
 
-    Torn writes keep a recognizable prefix of the intended bytes (the
-    part that landed); corruption flips a bit of the serialized form.
-    Either way the result fails the checksum of the intended version.
-    """
-    raw = pickle.dumps(value)
-    if kind is FaultKind.TORN:
-        return b"\x00TORN\x00" + raw[: max(1, len(raw) // 2)]
-    flip = point % max(1, len(raw))
-    return raw[:flip] + bytes([raw[flip] ^ 0x40]) + raw[flip + 1 :]
-
-
-class FaultyStore(StableStore):
-    """A stable store whose device is described by a :class:`FaultModel`.
-
-    Every read, write and delete consults the model.  The store keeps a
-    CRC32 per object (the in-memory analogue of the file store's framed
-    checksums): torn and corrupt faults damage the stored version while
-    leaving the checksum describing the *intended* version, so
-    :meth:`read` detects the damage and raises
-    :class:`CorruptObjectError`, and :meth:`scrub` finds it before a
-    redo pass can replay over garbage.
-    """
-
-    def __init__(
-        self, model: FaultModel, stats: Optional[IOStats] = None
-    ) -> None:
-        super().__init__(stats)
-        self.model = model
-        self._crcs: Dict[ObjectId, int] = {}
-
-    # ------------------------------------------------------------------
-    # reads
-    # ------------------------------------------------------------------
-    def read(self, obj: ObjectId) -> StoredVersion:
-        spec = self.model.fire(
-            "store.read",
-            obj,
-            can=frozenset({FaultKind.CORRUPT}),
-            stats=self.stats,
-        )
-        if spec is not None and obj in self._versions:
-            # Bit rot discovered by the read that touches it.
-            good = self._versions[obj]
-            self._versions[obj] = StoredVersion(
-                _damaged_value(good.value, spec.kind, spec.point), good.vsi
-            )
-        version = super().read(obj)
-        self._verify(obj, version)
-        return version
-
-    def _verify(self, obj: ObjectId, version: StoredVersion) -> None:
-        expected = self._crcs.get(obj)
-        if expected is None:
-            return
-        if _checksum(version) != expected:
-            self.stats.checksum_failures += 1
-            raise CorruptObjectError(
-                f"stored version of {obj!r} failed its checksum"
-            )
-
-    # ------------------------------------------------------------------
-    # writes
-    # ------------------------------------------------------------------
-    def write(self, obj: ObjectId, value: Any, vsi: StateId) -> None:
-        self._faulty_put(obj, StoredVersion(value, vsi), count=True)
-
-    def write_many(
-        self,
-        versions: Mapping[ObjectId, StoredVersion],
-        atomic: bool,
-        count: bool = True,
-    ) -> None:
-        # Each object write is one device I/O whether or not the set is
-        # installed atomically — an atomicity mechanism orders failure
-        # visibility, it does not remove the device operations.
-        for obj, version in versions.items():
-            if not atomic and self.mid_write_hook is not None:
-                self.mid_write_hook(obj)
-            self._faulty_put(obj, version, count=count)
-
-    def _faulty_put(
-        self, obj: ObjectId, version: StoredVersion, count: bool
-    ) -> None:
-        spec = self.model.fire(
-            "store.write",
-            obj,
-            can=frozenset({FaultKind.TORN, FaultKind.CORRUPT}),
-            stats=self.stats,
-        )
-        if count:
-            self.stats.object_writes += 1
-        good_crc = _checksum(version)
-        if spec is None:
-            self._versions[obj] = version
-            self._crcs[obj] = good_crc
-            return
-        # Torn: garbage landed mid-write.  Corrupt: the write landed,
-        # then the medium rotted it.  Either way the checksum describes
-        # the *intended* version, so integrity passes catch the damage.
-        self._versions[obj] = StoredVersion(
-            _damaged_value(version.value, spec.kind, spec.point), version.vsi
-        )
-        self._crcs[obj] = good_crc
-        self.model.crash_if_demanded(spec)
-
-    def delete(self, obj: ObjectId) -> None:
-        self.model.fire("store.delete", obj, stats=self.stats)
-        super().delete(obj)
-        self._crcs.pop(obj, None)
-
-    # ------------------------------------------------------------------
-    # integrity / restore (recovery paths: never faulted)
-    # ------------------------------------------------------------------
-    def scrub(self) -> List[ObjectId]:
-        bad: List[ObjectId] = []
-        for obj, version in self._versions.items():
-            expected = self._crcs.get(obj)
-            if expected is not None and _checksum(version) != expected:
-                self.stats.checksum_failures += 1
-                bad.append(obj)
-        return bad
-
-    def quarantine(self, obj: ObjectId) -> None:
-        super().quarantine(obj)
-        self._crcs.pop(obj, None)
-
-    def restore_version(
-        self, obj: ObjectId, version: Optional[StoredVersion]
-    ) -> None:
-        super().restore_version(obj, version)
-        if version is None:
-            self._crcs.pop(obj, None)
-        else:
-            self._crcs[obj] = _checksum(version)
-
-    def restore_versions(
-        self, versions: Mapping[ObjectId, StoredVersion]
-    ) -> None:
-        super().restore_versions(versions)
-        self._crcs = {
-            obj: _checksum(version) for obj, version in versions.items()
-        }
+        return getattr(faultwrap, _MOVED[name])
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -44,6 +44,15 @@ class IOStats:
     quiesce_events:
         Times the system had to pause normal execution (flush
         transactions freeze the objects they copy; System R quiesced).
+    flush_double_writes:
+        Object values written *twice* by the flush-transaction
+        mechanism — once to the log, then again in place.  A cost that
+        exists only because objects are rewritten in place; the
+        log-structured backend's batch frames eliminate it.
+    compaction_copies:
+        Live object versions copied forward by log-structured segment
+        compaction (the background reclamation cost of never writing
+        in place).
     atomic_flushes:
         Multi-object atomic flush operations performed.
     identity_writes:
@@ -88,6 +97,8 @@ class IOStats:
     log_forces: int = 0
     log_force_saves: int = 0
     quiesce_events: int = 0
+    flush_double_writes: int = 0
+    compaction_copies: int = 0
     atomic_flushes: int = 0
     identity_writes: int = 0
     flushes: int = 0

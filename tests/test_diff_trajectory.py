@@ -93,6 +93,40 @@ class TestCollectLanes:
         )
         assert lanes == {}
 
+    def test_c3_lane_is_lower_is_better(self):
+        # The E14 storage-cost lanes: bare numeric c3_* keys.
+        lanes = collect_lanes(
+            {
+                "backend_costs": {
+                    "logstore+batch": {
+                        "c3_identity_writes": 0,
+                        "c3_flush_double_writes": 0,
+                        "object_writes": 7,  # not a lane
+                    }
+                }
+            }
+        )
+        assert lanes == {
+            "backend_costs.logstore+batch.c3_identity_writes": (0.0, False),
+            "backend_costs.logstore+batch.c3_flush_double_writes": (
+                0.0,
+                False,
+            ),
+        }
+
+    def test_c3_rise_from_zero_regresses(self):
+        # The zero is a pinned claim: any rise off it must fail the
+        # build, threshold notwithstanding.
+        base = collect_lanes({"x": {"c3_identity_writes": 0}})
+        cur = collect_lanes({"x": {"c3_identity_writes": 3}})
+        _, regressions = compare(base, cur, threshold=0.2)
+        assert len(regressions) == 1
+
+    def test_c3_zero_stays_zero_is_ok(self):
+        base = collect_lanes({"x": {"c3_identity_writes": 0}})
+        _, regressions = compare(base, base, threshold=0.2)
+        assert regressions == []
+
     def test_new_acked_lane_is_baseline_only(self):
         # First commit of a new benchmark: every lane is [new] and the
         # diff passes — the committed file becomes the baseline.

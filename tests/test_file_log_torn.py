@@ -13,7 +13,7 @@ import pytest
 
 from repro.kernel.system import RecoverableSystem, SystemConfig
 from repro.persist.file_log import _HEADER, FileLogManager
-from repro.persist.faulty import FaultyFileLog
+from repro.persist.faulty_log import FaultyFileLog
 from repro.storage.faults import FaultCrash, FaultKind, FaultModel, FaultSpec
 from repro.wal.records import OperationRecord
 from repro.workloads import register_workload_functions

@@ -1,5 +1,5 @@
 """CRC framing, quarantine and fault injection for the file-backed
-store (repro.persist.file_store, repro.persist.faulty)."""
+store (repro.storage.file_store, repro.storage.faultwrap)."""
 
 import os
 
@@ -7,9 +7,9 @@ import pytest
 
 from repro.kernel.system import RecoverableSystem, SystemConfig
 from repro.kernel.verify import verify_recovered
-from repro.persist.faulty import FaultyFileStore
 from repro.persist.file_log import FileLogManager
-from repro.persist.file_store import (
+from repro.storage.faultwrap import FaultyFileStore
+from repro.storage.file_store import (
     _HEADER,
     _MAGIC,
     _encode,

@@ -1,0 +1,171 @@
+"""Compaction under injected faults: a crash at any compaction stage
+must leave a reopenable directory whose rebuilt state equals the
+pre-compaction state (segment-id ordering is the whole crash-safety
+argument — see the logstore module docstring)."""
+
+import os
+
+import pytest
+
+from repro.common.errors import SimulatedCrash
+from repro.storage.faults import FaultKind, FaultModel, FaultSpec
+from repro.storage.faultwrap import FaultyLogStructuredStore
+from repro.storage.logstore import LogStructuredStableStore
+from repro.storage.stable_store import StoredVersion
+
+
+@pytest.fixture
+def dbdir(tmp_path):
+    return str(tmp_path / "db")
+
+
+def _populate(store):
+    """A mixed history with plenty of dead bytes and a deletion."""
+    for index in range(6):
+        store.write(f"obj:{index % 3}", f"gen-{index}".encode(), index)
+    store.write_many(
+        {
+            "obj:3": StoredVersion(b"batch-3", 10),
+            "obj:4": StoredVersion(b"batch-4", 11),
+        },
+        atomic=True,
+    )
+    store.delete("obj:0")
+    return {
+        obj: (store.peek(obj).value, store.vsi_of(obj))
+        for obj in sorted(store.object_ids())
+    }
+
+
+def _state(store):
+    return {
+        obj: (store.peek(obj).value, store.vsi_of(obj))
+        for obj in sorted(store.object_ids())
+    }
+
+
+class TestCrashMidCompaction:
+    @pytest.mark.parametrize("stage", ["copied", "indexed", "retired"])
+    def test_crash_at_stage_preserves_state(self, dbdir, stage):
+        store = LogStructuredStableStore(dbdir, auto_compact=False)
+        expected = _populate(store)
+
+        def die(reached):
+            if reached == stage:
+                raise SimulatedCrash(f"killed at compaction stage {reached}")
+
+        store.compaction_hook = die
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        again = LogStructuredStableStore(dbdir)
+        assert _state(again) == expected
+        # No damage was involved: the survivor must not have widened.
+        assert again.media_redo_pending is None
+
+    def test_crash_before_retirement_keeps_old_segments(self, dbdir):
+        """Until old segments are unlinked they remain authoritative:
+        the copy only duplicates what they already replay to."""
+        store = LogStructuredStableStore(dbdir, auto_compact=False)
+        _populate(store)
+        before = store.segment_count()
+
+        def die(reached):
+            if reached == "indexed":
+                raise SimulatedCrash("pre-retirement")
+
+        store.compaction_hook = die
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        names = os.listdir(os.path.join(dbdir, "segments"))
+        # Old segments plus the completed copy are all still on disk.
+        assert len(names) == before + 1
+
+    def test_torn_copy_segment_is_discarded(self, dbdir):
+        """A crash mid-copy leaves a half-written copy segment; its torn
+        tail is truncated at reopen and the old segments still replay to
+        the exact pre-compaction state."""
+        store = LogStructuredStableStore(dbdir, auto_compact=False)
+        expected = _populate(store)
+
+        def die(reached):
+            if reached == "copied":
+                raise SimulatedCrash("mid-copy")
+
+        store.compaction_hook = die
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        segments = sorted(os.listdir(os.path.join(dbdir, "segments")))
+        copy_path = os.path.join(dbdir, "segments", segments[-1])
+        size = os.path.getsize(copy_path)
+        with open(copy_path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+        again = LogStructuredStableStore(dbdir)
+        assert _state(again) == expected
+
+    def test_interrupted_compaction_can_rerun(self, dbdir):
+        store = LogStructuredStableStore(dbdir, auto_compact=False)
+        expected = _populate(store)
+
+        def die(reached):
+            if reached == "copied":
+                raise SimulatedCrash("first attempt dies")
+
+        store.compaction_hook = die
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        again = LogStructuredStableStore(dbdir, auto_compact=False)
+        copied = again.compact()
+        assert copied == len(expected)
+        assert again.segment_count() == 1
+        assert _state(LogStructuredStableStore(dbdir)) == expected
+
+
+class TestFaultyAppends:
+    def test_torn_append_loses_only_the_unacked_write(self, dbdir):
+        seed = LogStructuredStableStore(dbdir)
+        seed.write("x", b"stable", 1)
+        model = FaultModel(
+            [FaultSpec(0, FaultKind.TORN, crash=True)]
+        )
+        store = FaultyLogStructuredStore(dbdir, model)
+        with pytest.raises(SimulatedCrash):
+            store.write("x", b"torn-away", 2)
+        again = LogStructuredStableStore(dbdir)
+        assert again.peek("x").value == b"stable"
+        assert again.vsi_of("x") == 1
+        # Torn tail detected and truncated; the widening applies.
+        assert again.stats.checksum_failures == 1
+
+    def test_transient_append_is_retried_invisibly(self, dbdir):
+        model = FaultModel([FaultSpec(0, FaultKind.TRANSIENT, times=2)])
+        store = FaultyLogStructuredStore(dbdir, model)
+        store.write("x", b"v", 1)
+        assert store.stats.fault_retries >= 2
+        assert LogStructuredStableStore(dbdir).peek("x").value == b"v"
+
+    def test_corrupt_append_is_caught_by_scrub(self, dbdir):
+        model = FaultModel([FaultSpec(0, FaultKind.CORRUPT)])
+        store = FaultyLogStructuredStore(dbdir, model)
+        store.write("x", b"rotted", 1)
+        assert store.scrub() == ["x"]
+
+    def test_torn_append_does_not_skew_later_offsets(self, dbdir):
+        """After a torn append the next append lands at the device's
+        real tail, so the rebuilt index still parses every later frame
+        (the half-frame is skipped by resync)."""
+        model = FaultModel([FaultSpec(0, FaultKind.TORN)])
+        store = FaultyLogStructuredStore(dbdir, model)
+        store.write("a", b"torn", 1)
+        store.write("b", b"after", 2)
+        again = LogStructuredStableStore(dbdir)
+        assert again.peek("b").value == b"after"
+        assert not again.contains("a") or again.peek("a").value == b"torn"
+
+    def test_compaction_runs_under_the_faulty_wrapper(self, dbdir):
+        store = FaultyLogStructuredStore(
+            dbdir, FaultModel(), auto_compact=False
+        )
+        for index in range(10):
+            store.write("x", f"v{index}".encode(), index)
+        assert store.compact() == 1
+        assert LogStructuredStableStore(dbdir).peek("x").value == b"v9"

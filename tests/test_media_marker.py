@@ -17,7 +17,7 @@ from repro.common.identifiers import NULL_SI
 from repro.domains.kvstore import KVPageStore, register_kv_functions
 from repro.kernel.supervisor import SupervisorConfig
 from repro.persist import FileStableStore, PersistentSystem
-from repro.persist.file_store import _MARKER_NAME
+from repro.storage.framing import MARKER_NAME as _MARKER_NAME
 
 
 @pytest.fixture
@@ -63,7 +63,7 @@ class TestMarkerFile:
         assert again.stats.checksum_failures == 1
 
     def test_foreign_frame_widens_maximally(self, dbdir):
-        from repro.persist.file_store import _frame
+        from repro.storage.framing import frame as _frame
 
         store = FileStableStore(dbdir)
         store.media_redo_pending = 42
