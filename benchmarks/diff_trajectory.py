@@ -9,9 +9,11 @@ A *lane* is a dict carrying an ``ops_per_sec`` value (higher is
 better), any numeric ``acked_per_s*`` entry (higher is better — the
 serving-throughput lanes E12/E13 record), any numeric
 ``seconds_per_*`` entry (lower is better — the recovery-attempt
-wall-time lanes E11 records), or any numeric ``c3_*`` entry (lower is
+wall-time lanes E11 records), any numeric ``c3_*`` entry (lower is
 better — the storage cost counters E14 records; the log-structured
-lanes pin several of these at zero), addressed by its dotted path
+lanes pin several of these at zero), or any numeric ``lag_*`` entry
+(lower is better — the witness redo-lag and failover-time lanes E15
+records), addressed by its dotted path
 (e.g. ``graph_maintenance.indexed.75% logical@1000``,
 ``serving_throughput.acked_per_s``,
 ``recovery_telemetry.seconds_per_attempt`` or
@@ -47,8 +49,8 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
 
     ``ops_per_sec`` dicts yield higher-is-better lanes at the dict's
     own path; numeric ``acked_per_s*`` keys yield higher-is-better
-    lanes and ``seconds_per_*`` / ``c3_*`` keys lower-is-better lanes,
-    all at ``<path>.<key>``.
+    lanes and ``seconds_per_*`` / ``c3_*`` / ``lag_*`` keys
+    lower-is-better lanes, all at ``<path>.<key>``.
     """
     lanes: Dict[str, Lane] = {}
     if not isinstance(data, dict):
@@ -70,7 +72,7 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
         if str(key).startswith("acked_per_s"):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), True)
-        elif str(key).startswith(("seconds_per_", "c3_")):
+        elif str(key).startswith(("seconds_per_", "c3_", "lag_")):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), False)
     return lanes

@@ -22,7 +22,15 @@
   a multi-shard daemon is killed mid-serve; surviving shards must keep
   acknowledging writes during the outage, the victim is revived through
   supervised recovery, and every acked write of the whole run (the
-  victim's included) is audited for durability.
+  victim's included) is audited for durability.  ``--store`` tortures
+  a durable per-shard backend (e.g. ``logstore``) instead of the
+  in-memory simulated store.
+* ``torture v5`` — the replication campaign: a primary/witness pair
+  over real sockets; the primary is killed (or left a zombie) at a
+  seeded ack count, the witness is promoted, clients fail over, and
+  every acked write is audited against the promoted witness — plus the
+  fencing invariant that a deposed primary never acks past the
+  promotion watermark.
 * ``serve --data-dir PATH`` — run the long-lived daemon itself:
   supervised recovery over whatever the directory contains, then
   health-gated serving with deadlines, backpressure, a ``/metrics`` +
@@ -31,7 +39,16 @@
   backend that created the directory).  ``--shards N`` serves
   a sharded topology: N recovery domains with per-shard WAL streams
   under ``data-dir/shard-K``, per-shard admission gates and watchdogs,
-  and fence-protocol cross-shard operations.
+  and fence-protocol cross-shard operations.  ``--replicate`` accepts
+  a witness subscription and gates every ack on the witness's durable
+  receipt; ``--witness-of HOST:PORT`` runs the *witness* side —
+  subscribe to that primary, continuously redo its shipped WAL, and
+  serve only after promotion.
+* ``promote --port N`` — tell a witness daemon to promote: fence the
+  old epoch, converge the adopted log through recovery, start serving
+  as primary.  Promotion is an operator decision (a witness cannot
+  tell a dead primary from a partition), which is why it is a command
+  and not an automatism.
 * ``metrics <file.jsonl>`` — render a telemetry file exported with
   ``--metrics-out`` (or :func:`repro.obs.dump_jsonl`) as
   Prometheus-style exposition text; ``--summary`` prints the condensed
@@ -72,12 +89,22 @@ from repro.kernel.torture import TortureConfig, TortureHarness, TortureReport
 from repro.obs import MetricsRegistry, dump_jsonl, load_jsonl, render_prometheus
 from repro.persist.faulty_log import FaultyFileLog
 from repro.persist.file_log import FileLogManager
+from repro.replica import (
+    ReplicaLiveFireConfig,
+    ReplicaLiveFireHarness,
+    ReplicationConfig,
+    WitnessConfig,
+    WitnessDaemon,
+)
 from repro.serve import (
+    DaemonClient,
     DaemonConfig,
     LiveFireConfig,
     LiveFireHarness,
     LiveFireReport,
+    RetryPolicy,
     ServeDaemon,
+    ServeError,
     ShardedDaemonConfig,
     ShardedServeDaemon,
     ShardLiveFireConfig,
@@ -301,13 +328,14 @@ def torture_v4(args: argparse.Namespace) -> int:
             shards=args.shards,
             clients=args.clients,
             requests_per_client=args.requests,
+            store_backend=args.store,
         ),
         metrics=metrics,
     )
     print(
         f"torture v4: {args.runs} shard-kill runs from seed {args.seed} "
         f"({args.shards} shards, {args.clients} clients x "
-        f"{args.requests} requests)"
+        f"{args.requests} requests, store {args.store})"
     )
     report = harness.campaign(args.runs, args.seed)
     print(report.summary())
@@ -325,6 +353,69 @@ def torture_v4(args: argparse.Namespace) -> int:
     return status
 
 
+def torture_v5(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry() if args.metrics_out else None
+    harness = ReplicaLiveFireHarness(
+        ReplicaLiveFireConfig(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            zombie_ratio=args.zombie_ratio,
+        ),
+        metrics=metrics,
+    )
+    print(
+        f"torture v5: {args.runs} primary-kill/promote runs from seed "
+        f"{args.seed} ({args.clients} clients x {args.requests} requests, "
+        f"zombie ratio {args.zombie_ratio})"
+    )
+    report = harness.campaign(args.runs, args.seed)
+    print(report.summary())
+    status = 0
+    if not report.ok:
+        print("\nfailing runs:")
+        for outcome in report.failures():
+            print(f"  {outcome.description}: {outcome.error}")
+            for loss in outcome.losses:
+                print(f"    lost: {loss}")
+        status = 1
+    if metrics is not None:
+        dump_jsonl(metrics, args.metrics_out)
+        print(f"telemetry written to {args.metrics_out}")
+    return status
+
+
+def promote_witness(args: argparse.Namespace) -> int:
+    client = DaemonClient(
+        args.host,
+        args.port,
+        policy=RetryPolicy(attempts=args.attempts, base_delay=0.05,
+                           deadline=args.deadline),
+    )
+    try:
+        response = client.request("promote")
+    except (ServeError, OSError) as exc:
+        print(f"promotion failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    print(
+        f"promoted: role={response.get('role')} "
+        f"epoch={response.get('epoch')} watermark={response.get('watermark')}"
+        + (" (already promoted)" if response.get("already_promoted") else "")
+    )
+    return 0
+
+
+def _parse_primary(spec: str) -> tuple:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"--witness-of expects HOST:PORT, got {spec!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
 def serve_daemon(args: argparse.Namespace) -> int:
     system_config = SystemConfig(
         cache=recommended_cache_config(args.store),
@@ -332,6 +423,13 @@ def serve_daemon(args: argparse.Namespace) -> int:
         group_commit_interval_ms=args.group_commit_interval_ms,
     )
     metrics = MetricsRegistry()
+    if args.shards > 1 and (args.witness_of or args.replicate):
+        print(
+            "replication serves one recovery domain per daemon; "
+            "--witness-of/--replicate cannot combine with --shards > 1",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards > 1:
         # Sharded topology: each shard recovers its own directory (its
         # own WAL stream) independently; the daemon gates admission and
@@ -392,20 +490,37 @@ def serve_daemon(args: argparse.Namespace) -> int:
     # before the listener opens.  Entering the crashed state makes the
     # watchdog run the full escalation ladder.
     system.crash()
-    daemon = ServeDaemon(
-        system,
-        DaemonConfig(
-            host=args.host,
-            port=args.port,
-            http_port=None if args.no_http else args.http_port,
-            max_queue=args.max_queue,
-            default_deadline_ms=args.default_deadline_ms,
-        ),
+    daemon_config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        http_port=None if args.no_http else args.http_port,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.default_deadline_ms,
     )
+    if args.witness_of:
+        primary_host, primary_port = _parse_primary(args.witness_of)
+        daemon = WitnessDaemon(
+            system,
+            daemon_config,
+            witness=WitnessConfig(
+                primary_host=primary_host,
+                primary_port=primary_port,
+                epoch_root=args.data_dir,
+            ),
+        )
+    elif args.replicate:
+        daemon = ServeDaemon(
+            system,
+            daemon_config,
+            replication=ReplicationConfig(epoch_root=args.data_dir),
+        )
+    else:
+        daemon = ServeDaemon(system, daemon_config)
     daemon.start()
+    role = f", role: {daemon.role}" if daemon.role != "primary" else ""
     print(
         f"serving {args.data_dir} on {args.host}:{daemon.port} "
-        f"(health: {system.health.value}"
+        f"(health: {system.health.value}{role}"
         + (f", http: {daemon.http_port}" if daemon.http_port else "")
         + ")",
         flush=True,
@@ -569,9 +684,33 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="concurrent client threads per run (default 3)")
     v4.add_argument("--requests", type=int, default=14,
                     help="requests per client (default 14)")
+    v4.add_argument("--store", default="memory", choices=backend_names,
+                    help="per-shard stable-store backend under torture "
+                    "(default memory)")
     v4.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write campaign telemetry (JSONL) to PATH")
     v4.set_defaults(fn=torture_v4)
+
+    v5 = tsub.add_parser(
+        "v5", help="replication live fire: kill (or zombie) the primary "
+        "of a primary/witness pair mid-serve, promote the witness, fail "
+        "clients over, and audit every acked write against the promoted "
+        "witness plus the epoch-fencing invariant"
+    )
+    v5.add_argument("--runs", type=int, default=25,
+                    help="seeded runs (default 25)")
+    v5.add_argument("--seed", type=int, default=0,
+                    help="base run seed (run i uses seed+i)")
+    v5.add_argument("--clients", type=int, default=3,
+                    help="concurrent client threads per run (default 3)")
+    v5.add_argument("--requests", type=int, default=10,
+                    help="put requests per client (default 10)")
+    v5.add_argument("--zombie-ratio", type=float, default=0.2,
+                    help="fraction of runs that leave the primary alive "
+                    "through the promotion (default 0.2)")
+    v5.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write campaign telemetry (JSONL) to PATH")
+    v5.set_defaults(fn=torture_v5)
 
     serve = sub.add_parser(
         "serve", help="run the serving daemon over a database directory"
@@ -611,6 +750,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--allow-chaos", action="store_true",
                        help="accept kill_shard/revive_shard chaos "
                        "requests (sharded topologies; harness/CI only)")
+    serve.add_argument("--replicate", action="store_true",
+                       help="accept a witness subscription and gate "
+                       "every write ack on the witness's durable "
+                       "receipt (semi-synchronous replication)")
+    serve.add_argument("--witness-of", default=None, metavar="HOST:PORT",
+                       help="run as the witness of the primary at "
+                       "HOST:PORT: subscribe, adopt and continuously "
+                       "redo its shipped WAL; serve only after "
+                       "'python -m repro promote'")
     serve.add_argument("--fault-seed", type=int, default=None,
                        help="arm a seeded fuzz fault model over the "
                        "on-disk store and log (live-fire testing)")
@@ -623,6 +771,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="dump telemetry JSONL at graceful shutdown")
     serve.set_defaults(fn=serve_daemon)
+
+    promote = sub.add_parser(
+        "promote", help="promote a witness daemon to primary (fences "
+        "the old epoch; an operator decision, never automatic)"
+    )
+    promote.add_argument("--host", default="127.0.0.1")
+    promote.add_argument("--port", type=int, required=True,
+                         help="the witness daemon's request port")
+    promote.add_argument("--attempts", type=int, default=5,
+                         help="client retry attempts (default 5)")
+    promote.add_argument("--deadline", type=float, default=30.0,
+                         help="overall promotion deadline in seconds")
+    promote.set_defaults(fn=promote_witness)
 
     metrics = sub.add_parser(
         "metrics", help="render an exported telemetry JSONL file"

@@ -9,10 +9,18 @@ into the kernel:
 
 * ``GET /metrics`` — ``render_prometheus`` over the provided registry
   (or snapshot dict), ``text/plain; version=0.0.4``;
-* ``GET /healthz`` — JSON ``{"health": ..., "lost_objects": [...]}``;
-  status **200** only when the system is HEALTHY, **503** otherwise, so
-  load balancers and the CI smoke job can gate on the status code
-  alone while operators read the body.
+* ``GET /healthz`` — **liveness**: JSON ``{"health": ..., ...}`` from
+  the health provider.  The serving daemon answers 200 for any state
+  the process can work its own way out of (HEALTHY, RECOVERING,
+  DEGRADED) and 503 only when an operator is required (FAILED) — a
+  restart-on-liveness orchestrator should not kill a daemon that is
+  mid-ladder;
+* ``GET /healthz?ready=1`` — **readiness**: the readiness provider's
+  verdict, 503 while the server should not receive traffic (still
+  RECOVERING, draining, a replication witness not yet caught up to the
+  primary's watermark).  Falls back to the health provider when no
+  readiness provider was given, so bare deployments keep the old
+  one-endpoint behavior.
 
 Scrapes are read-only and run on their own threads; the providers must
 therefore be cheap and safe to call concurrently with the serving loop
@@ -25,10 +33,14 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.export import render_prometheus
 
 __all__ = ["ObsHTTPServer"]
+
+#: Signature of the health/readiness providers.
+_Provider = Callable[[], Tuple[int, Dict[str, Any]]]
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -36,11 +48,13 @@ class _Handler(BaseHTTPRequestHandler):
     server: "_Server"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0]
-        if path == "/metrics":
+        parts = urlsplit(self.path)
+        if parts.path == "/metrics":
             self._send_metrics()
-        elif path == "/healthz":
-            self._send_health()
+        elif parts.path == "/healthz":
+            query = parse_qs(parts.query)
+            want_ready = query.get("ready", ["0"])[-1] not in ("", "0")
+            self._send_health(ready=want_ready)
         else:
             self._send(404, "text/plain; charset=utf-8", b"not found\n")
 
@@ -54,8 +68,11 @@ class _Handler(BaseHTTPRequestHandler):
         body = render_prometheus(source).encode("utf-8")
         self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
 
-    def _send_health(self) -> None:
-        status, payload = self.server.health_provider()
+    def _send_health(self, ready: bool = False) -> None:
+        provider = self.server.health_provider
+        if ready and self.server.ready_provider is not None:
+            provider = self.server.ready_provider
+        status, payload = provider()
         body = (json.dumps(payload) + "\n").encode("utf-8")
         self._send(status, "application/json", body)
 
@@ -73,7 +90,8 @@ class _Handler(BaseHTTPRequestHandler):
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
     metrics_provider: Callable[[], Optional[Any]]
-    health_provider: Callable[[], Tuple[int, Dict[str, Any]]]
+    health_provider: _Provider
+    ready_provider: Optional[_Provider]
 
 
 class ObsHTTPServer:
@@ -81,20 +99,23 @@ class ObsHTTPServer:
 
     ``metrics_provider`` returns a live registry or snapshot dict (or
     ``None`` when no registry is attached); ``health_provider`` returns
-    ``(http_status, json_payload)``.  ``start`` binds and spins a
-    daemon thread; ``port`` reports the bound port (useful with
-    ``port=0``).
+    ``(http_status, json_payload)`` for liveness; ``ready_provider``
+    (optional) answers ``/healthz?ready=1`` readiness probes.
+    ``start`` binds and spins a daemon thread; ``port`` reports the
+    bound port (useful with ``port=0``).
     """
 
     def __init__(
         self,
         metrics_provider: Callable[[], Optional[Any]],
-        health_provider: Callable[[], Tuple[int, Dict[str, Any]]],
+        health_provider: _Provider,
         host: str = "127.0.0.1",
         port: int = 0,
+        ready_provider: Optional[_Provider] = None,
     ) -> None:
         self._metrics_provider = metrics_provider
         self._health_provider = health_provider
+        self._ready_provider = ready_provider
         self._host = host
         self._requested_port = port
         self._httpd: Optional[_Server] = None
@@ -114,6 +135,7 @@ class ObsHTTPServer:
         httpd = _Server((self._host, self._requested_port), _Handler)
         httpd.metrics_provider = self._metrics_provider
         httpd.health_provider = self._health_provider
+        httpd.ready_provider = self._ready_provider
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

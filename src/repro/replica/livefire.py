@@ -1,0 +1,507 @@
+"""Live-fire torture (v5): kill the primary, promote the witness, audit.
+
+Torture v3 tortures one daemon; this lane tortures the **pair**.  A
+primary :class:`~repro.serve.server.ServeDaemon` with a
+:class:`~repro.replica.sender.ReplicationSender` and a
+:class:`~repro.replica.witness.WitnessDaemon` run over real sockets;
+concurrent clients (constructed with the witness as their failover
+target) drive puts at the primary; at a seeded ack count the run takes
+one of two lanes:
+
+* **kill** — the primary is SIGKILL-modelled dead mid-workload
+  (``daemon.kill()``), the harness promotes the witness, and the
+  clients fail over to it;
+* **zombie** — the primary stays *alive* while the witness is
+  promoted.  The promotion's in-band fencing ack (an ``repl_ack``
+  carrying ``epoch + 1``) must make the old primary refuse every
+  further write with ``FENCED`` — the lane that proves a deposed
+  primary cannot keep acknowledging writes the new epoch will never
+  see.
+
+The oracle is torture v3's exactly-once acked-write audit, run against
+the **promoted witness**: for every object, the recovered vSI is at
+least the highest lSI any client was ever acked (by either epoch), and
+the recovered value is something a client actually sent.  Because the
+primary acks only after the witness's durable receipt
+(semi-synchronous shipping), an ack can never name state the witness
+does not hold — so the audit holds across the failover, not just
+across a restart.
+
+On top of the v3 oracle, two pair-specific invariants:
+
+* **promotion always completes** — every run must end with the
+  witness promoted, HEALTHY, and serving reads and writes;
+* **no post-promotion ack from the old epoch** — an ack carrying the
+  deposed epoch whose lSI lies *above* the promotion watermark would
+  name a write the promoted state cannot contain; the count of such
+  acks must be zero.  (An old-epoch ack at or below the watermark is
+  a benign race: its write was adopted before promotion and is part
+  of the promoted state.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import DegradedModeError
+from repro.common.rng import make_rng
+from repro.kernel.supervisor import SupervisorConfig
+from repro.kernel.system import RecoverableSystem, SystemHealth
+from repro.obs.metrics import MetricsRegistry
+from repro.replica.sender import ReplicationConfig
+from repro.replica.witness import WitnessConfig, WitnessDaemon
+from repro.serve.client import DaemonClient, RetryPolicy
+from repro.serve.errors import ServeError
+from repro.serve.server import DaemonConfig, ServeDaemon
+from repro.serve.watchdog import WatchdogConfig
+
+
+@dataclass
+class ReplicaLiveFireConfig:
+    """Workload shape for one primary/witness torture campaign."""
+
+    #: Concurrent client threads; disjoint object sets per client.
+    clients: int = 3
+    #: Sequential put requests each client attempts.
+    requests_per_client: int = 10
+    #: Objects each client cycles its puts over.
+    objects_per_client: int = 3
+    #: Fraction of runs that take the zombie lane (primary left alive
+    #: through the promotion) instead of the kill lane.
+    zombie_ratio: float = 0.2
+    #: Witness redo cadence; small, so redo cycles actually interleave
+    #: with the workload instead of all happening at the end.
+    redo_every_records: int = 8
+    #: Primary-side ceiling on the per-write witness-receipt wait.
+    ack_timeout_s: float = 2.0
+    #: Ladder budget for witness redo/promotion recoveries.
+    supervisor_attempts: int = 24
+    #: Daemon admission-queue bound.
+    max_queue: int = 16
+    #: Client retry budget per request.  Generous: a request caught by
+    #: the kill must survive connect-refused → rotate → witness
+    #: UNAVAILABLE (not yet promoted) → rotate ... until promotion.
+    client_attempts: int = 40
+    client_base_delay: float = 0.002
+    client_deadline: float = 15.0
+    #: Wall-clock cap waiting for the witness to first attach.
+    attach_timeout_s: float = 10.0
+    #: Post-promotion writes driven directly at a zombie primary; every
+    #: one must be refused (FENCED or UNAVAILABLE), never acked.
+    zombie_probe_writes: int = 3
+
+
+@dataclass
+class ReplicaLiveFireOutcome:
+    """One kill-promote-verify run against a live pair."""
+
+    description: str
+    ok: bool
+    error: str = ""
+    seed: Optional[int] = None
+    #: Which lane this run took ("kill" or "zombie").
+    lane: str = "kill"
+    acked: int = 0
+    sent: int = 0
+    failed: int = 0
+    #: Did the witness end the run promoted and HEALTHY?
+    promoted: bool = False
+    #: Seconds from the kill/fence decision to the promote ack.
+    failover_seconds: float = 0.0
+    #: Redo cycles the witness completed during the run.
+    redo_cycles: int = 0
+    #: Acks carrying the deposed epoch with an lSI above the promotion
+    #: watermark — writes the promoted state cannot contain.  Must be 0.
+    old_epoch_acks: int = 0
+    #: Acked writes found missing or stale on the promoted witness.
+    losses: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReplicaLiveFireReport:
+    """Aggregate verdict of a torture v5 campaign."""
+
+    mode: str = "replica"
+    outcomes: List[ReplicaLiveFireOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def total_acked(self) -> int:
+        return sum(outcome.acked for outcome in self.outcomes)
+
+    @property
+    def total_losses(self) -> int:
+        return sum(len(outcome.losses) for outcome in self.outcomes)
+
+    @property
+    def total_old_epoch_acks(self) -> int:
+        return sum(outcome.old_epoch_acks for outcome in self.outcomes)
+
+    def failures(self) -> List[ReplicaLiveFireOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def summary(self) -> str:
+        failed = len(self.failures())
+        status = "OK" if failed == 0 else f"{failed} FAILED"
+        return (
+            f"torture v5 ({self.mode}): {len(self.outcomes)} runs, "
+            f"{self.total_acked} acked writes, "
+            f"{self.total_losses} acked losses, "
+            f"{self.total_old_epoch_acks} old-epoch acks — {status}"
+        )
+
+
+class _PairClientRecord:
+    """What one client thread sent, and every ack with its epoch."""
+
+    def __init__(self) -> None:
+        #: obj -> every value this client sent for it (ack or not).
+        self.sent_values: Dict[str, List[str]] = {}
+        #: (obj, value, lsi, epoch, monotonic ack time), in ack order.
+        self.acks: List[Tuple[str, str, int, Optional[int], float]] = []
+        self.sent = 0
+        self.failed = 0
+        self.errors: List[str] = []
+
+
+class ReplicaLiveFireHarness:
+    """Kills primaries under load and audits the promoted witness."""
+
+    def __init__(
+        self,
+        config: Optional[ReplicaLiveFireConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ReplicaLiveFireConfig()
+        self.obs = metrics
+
+    # ------------------------------------------------------------------
+    # one run
+    # ------------------------------------------------------------------
+    def run(self, seed: int) -> ReplicaLiveFireOutcome:
+        cfg = self.config
+        lane = (
+            "zombie"
+            if make_rng(f"replica-lane:{seed}").random() < cfg.zombie_ratio
+            else "kill"
+        )
+        outcome = ReplicaLiveFireOutcome(
+            f"replica livefire seed={seed} lane={lane}",
+            True,
+            seed=seed,
+            lane=lane,
+        )
+        watchdog = WatchdogConfig(
+            supervisor=SupervisorConfig(max_attempts=cfg.supervisor_attempts)
+        )
+        primary_system = RecoverableSystem()
+        if self.obs is not None:
+            primary_system.attach_metrics(self.obs)
+        primary = ServeDaemon(
+            primary_system,
+            DaemonConfig(
+                port=0,
+                http_port=None,
+                max_queue=cfg.max_queue,
+                retry_after_ms=5,
+                watchdog=watchdog,
+            ),
+            replication=ReplicationConfig(
+                ack_timeout_s=cfg.ack_timeout_s, retry_after_ms=5
+            ),
+        ).start()
+        witness_system = RecoverableSystem()
+        if self.obs is not None:
+            witness_system.attach_metrics(self.obs)
+        witness = WitnessDaemon(
+            witness_system,
+            DaemonConfig(
+                port=0,
+                http_port=None,
+                max_queue=cfg.max_queue,
+                retry_after_ms=5,
+                watchdog=watchdog,
+            ),
+            witness=WitnessConfig(
+                primary_port=primary.port,
+                redo_every_records=cfg.redo_every_records,
+                reconnect_delay_s=0.02,
+            ),
+        ).start()
+        try:
+            return self._run_pair(seed, lane, outcome, primary, witness)
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def _run_pair(
+        self,
+        seed: int,
+        lane: str,
+        outcome: ReplicaLiveFireOutcome,
+        primary: ServeDaemon,
+        witness: WitnessDaemon,
+    ) -> ReplicaLiveFireOutcome:
+        cfg = self.config
+        deadline = time.monotonic() + cfg.attach_timeout_s
+        while time.monotonic() < deadline:
+            if witness.attached and primary.replication.attached:
+                break
+            time.sleep(0.002)
+        else:
+            outcome.ok = False
+            outcome.error = "witness never attached to the primary"
+            return outcome
+        records = [_PairClientRecord() for _ in range(cfg.clients)]
+        stop = threading.Event()
+        workers = [
+            threading.Thread(
+                target=self._client_worker,
+                args=(seed, cid, primary.port, witness.port, records[cid],
+                      stop),
+                name=f"replica-livefire-client-{cid}",
+                daemon=True,
+            )
+            for cid in range(cfg.clients)
+        ]
+        for worker in workers:
+            worker.start()
+        total = cfg.clients * cfg.requests_per_client
+        kill_after = make_rng(f"replica-kill:{seed}").randint(1, total)
+        loop_deadline = time.monotonic() + 30.0
+        while time.monotonic() < loop_deadline:
+            if sum(len(record.acks) for record in records) >= kill_after:
+                break
+            if not any(worker.is_alive() for worker in workers):
+                break
+            time.sleep(0.002)
+        failover_start = time.monotonic()
+        if lane == "kill":
+            primary.kill()
+        promote = self._promote(witness)
+        promote_time = time.monotonic()
+        outcome.failover_seconds = promote_time - failover_start
+        if not promote.get("ok"):
+            outcome.ok = False
+            outcome.error = f"promotion failed: {promote.get('error')}"
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=10.0)
+            return outcome
+        promoted_epoch = promote["epoch"]
+        promotion_watermark = promote["watermark"]
+        for worker in workers:
+            worker.join(timeout=20.0)
+        stop.set()
+        outcome.sent = sum(record.sent for record in records)
+        outcome.acked = sum(len(record.acks) for record in records)
+        outcome.failed = sum(record.failed for record in records)
+        outcome.redo_cycles = witness.redo_cycles
+        # Invariant: no post-promotion ack from the deposed epoch above
+        # the promotion watermark (see the module docstring).
+        for record in records:
+            for _obj, _value, lsi, epoch, at in record.acks:
+                if (
+                    epoch is not None
+                    and epoch < promoted_epoch
+                    and at > promote_time
+                    and lsi > promotion_watermark
+                ):
+                    outcome.old_epoch_acks += 1
+        if lane == "zombie":
+            self._probe_zombie(primary, outcome, promoted_epoch,
+                               promotion_watermark, seed)
+            primary.kill()
+        try:
+            self._verify_promoted(witness, records, outcome, seed)
+        except Exception as exc:  # noqa: BLE001 - verdict, not control flow
+            outcome.ok = False
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        if outcome.ok and not outcome.promoted:
+            outcome.ok = False
+            outcome.error = "witness did not end the run promoted and serving"
+        if outcome.ok and outcome.old_epoch_acks:
+            outcome.ok = False
+            outcome.error = (
+                f"{outcome.old_epoch_acks} post-promotion acks from the "
+                "deposed epoch"
+            )
+        if outcome.ok and outcome.losses:
+            outcome.ok = False
+            outcome.error = f"{len(outcome.losses)} acked writes lost"
+        return outcome
+
+    def campaign(self, runs: int, seed: int = 0) -> ReplicaLiveFireReport:
+        """``runs`` seeded pair runs; run ``i`` uses ``seed + i``."""
+        report = ReplicaLiveFireReport()
+        for index in range(runs):
+            report.outcomes.append(self.run(seed + index))
+        return report
+
+    # ------------------------------------------------------------------
+    # pieces
+    # ------------------------------------------------------------------
+    def _promote(self, witness: WitnessDaemon) -> Dict[str, Any]:
+        client = DaemonClient(
+            "127.0.0.1",
+            witness.port,
+            policy=RetryPolicy(attempts=5, base_delay=0.01, deadline=20.0),
+        )
+        try:
+            return client.request("promote")
+        except (ServeError, OSError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            client.close()
+
+    def _client_worker(
+        self,
+        seed: int,
+        cid: int,
+        primary_port: int,
+        witness_port: int,
+        record: _PairClientRecord,
+        stop: threading.Event,
+    ) -> None:
+        cfg = self.config
+        rng = make_rng(f"replica-client:{seed}:{cid}")
+        client = DaemonClient(
+            "127.0.0.1",
+            primary_port,
+            policy=RetryPolicy(
+                attempts=cfg.client_attempts,
+                base_delay=cfg.client_base_delay,
+                max_delay=0.1,
+                deadline=cfg.client_deadline,
+                rng=rng,
+            ),
+            connect_timeout=2.0,
+            failover=[("127.0.0.1", witness_port)],
+        )
+        try:
+            for seq in range(cfg.requests_per_client):
+                if stop.is_set():
+                    return
+                obj = f"rf{cid}:{seq % cfg.objects_per_client}"
+                value = f"run{seed}:c{cid}:s{seq}"
+                record.sent_values.setdefault(obj, []).append(value)
+                record.sent += 1
+                try:
+                    response = client.request("put", obj=obj, value=value)
+                except (ServeError, DegradedModeError, OSError) as exc:
+                    record.failed += 1
+                    record.errors.append(f"{type(exc).__name__}: {exc}")
+                    continue
+                record.acks.append(
+                    (
+                        obj,
+                        value,
+                        response["lsi"],
+                        response.get("epoch"),
+                        time.monotonic(),
+                    )
+                )
+        finally:
+            client.close()
+
+    def _probe_zombie(
+        self,
+        primary: ServeDaemon,
+        outcome: ReplicaLiveFireOutcome,
+        promoted_epoch: int,
+        promotion_watermark: int,
+        seed: int,
+    ) -> None:
+        """Drive writes at the still-live deposed primary; none may ack.
+
+        The in-band fence makes these FENCED; a lost fence ack (the
+        witness closed the socket under the frame) degrades to
+        UNAVAILABLE (the primary is witness-less and cannot ack) —
+        either refusal is correct.  An *ack* above the promotion
+        watermark is the split-brain the epoch machinery exists to
+        prevent.
+        """
+        client = DaemonClient(
+            "127.0.0.1",
+            primary.port,
+            policy=RetryPolicy(attempts=1),
+        )
+        try:
+            for probe in range(self.config.zombie_probe_writes):
+                obj = f"zombie{probe % 2}"
+                try:
+                    response = client.request(
+                        "put", obj=obj, value=f"zombie{seed}:{probe}"
+                    )
+                except (ServeError, DegradedModeError, OSError):
+                    continue  # refused: exactly what the fence promises
+                if response.get("lsi", 0) > promotion_watermark:
+                    outcome.old_epoch_acks += 1
+        finally:
+            client.close()
+
+    def _verify_promoted(
+        self,
+        witness: WitnessDaemon,
+        records: List[_PairClientRecord],
+        outcome: ReplicaLiveFireOutcome,
+        seed: int,
+    ) -> None:
+        """Audit every ack against the promoted witness, then write to it."""
+        if not witness.promoted:
+            return
+        if witness.system.health is not SystemHealth.HEALTHY:
+            raise AssertionError(
+                "promoted witness is not HEALTHY: "
+                f"{witness.system.health.value}"
+            )
+        client = DaemonClient(
+            "127.0.0.1",
+            witness.port,
+            policy=RetryPolicy(attempts=5, base_delay=0.01, deadline=10.0),
+        )
+        try:
+            for record in records:
+                by_obj: Dict[str, List[Tuple[int, str]]] = {}
+                for obj, value, lsi, _epoch, _at in record.acks:
+                    by_obj.setdefault(obj, []).append((lsi, value))
+                for obj, acks in by_obj.items():
+                    max_lsi, max_value = max(acks)
+                    value, vsi = client.get(obj)
+                    if vsi is None or vsi < max_lsi:
+                        outcome.losses.append(
+                            f"{obj}: acked through lsi {max_lsi} but the "
+                            f"promoted witness has vsi {vsi}"
+                        )
+                        continue
+                    if vsi == max_lsi and value != max_value:
+                        outcome.losses.append(
+                            f"{obj}: promoted vsi {vsi} matches the last "
+                            f"ack but value is {value!r}, acked "
+                            f"{max_value!r}"
+                        )
+                        continue
+                    if value not in record.sent_values.get(obj, []):
+                        outcome.losses.append(
+                            f"{obj}: promoted value {value!r} was never "
+                            "sent by its owning client"
+                        )
+            # The promoted witness must also *serve*: one write-read
+            # round trip at the new epoch.
+            probe = f"postfailover:{seed}"
+            lsi = client.put(probe, f"epoch-probe:{seed}")
+            read_value, vsi = client.get(probe)
+            if vsi != lsi or read_value != f"epoch-probe:{seed}":
+                raise AssertionError(
+                    "promoted witness failed the write-read probe: "
+                    f"wrote lsi {lsi}, read ({read_value!r}, {vsi})"
+                )
+            outcome.promoted = True
+        finally:
+            client.close()

@@ -28,6 +28,13 @@ gate and watchdog per shard, a fence-protocol rendezvous for
 cross-shard operations, and chaos endpoints used by the torture v4
 lane (:mod:`repro.serve.livefire_shard`) to kill one shard and prove
 the others keep serving.
+
+Replication (:mod:`repro.replica`, ``--replicate`` /
+``--witness-of``) pairs a primary with a witness that adopts and
+continuously redoes its shipped WAL; client acks wait for the
+witness's durable receipt, promotion is epoch-fenced and
+operator-driven, and :class:`DaemonClient` takes ``failover`` targets
+so applications ride through the switch.
 """
 
 from repro.serve.client import RETRYABLE_CODES, DaemonClient, RetryPolicy
@@ -41,6 +48,7 @@ from repro.serve.errors import (
     BackpressureError,
     BadRequestError,
     DeadlineExceededError,
+    FencedError,
     ProtocolError,
     ServeError,
     ServerFailedError,
@@ -63,6 +71,7 @@ __all__ = [
     "DaemonClient",
     "DaemonConfig",
     "DeadlineExceededError",
+    "FencedError",
     "LiveFireConfig",
     "LiveFireHarness",
     "LiveFireOutcome",

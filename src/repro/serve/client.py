@@ -30,7 +30,26 @@ every serving operation is either idempotent (get/put/delete re-apply
 the same value) or replay-safe by the durability contract, so
 at-least-once delivery over retries composes with the server's
 force-before-ack into the exactly-once visibility the torture lane
-checks.
+checks.  Two transport rules refine the loop:
+
+* **a stale connection gets one free retry** — when a *reused* socket
+  dies mid-request (connection reset because the daemon drained and
+  closed idle connections during a graceful SIGTERM, say), the failure
+  tells us nothing about the server's current state.  The client
+  reconnects and retries immediately without burning an attempt or
+  backing off; only failures on a *fresh* connection (refused,
+  reset during the very round-trip that opened it) count against the
+  attempt budget.  This is bounded: the free retry always runs on a
+  fresh connection, so at most one free retry precedes every counted
+  attempt;
+* **failover targets** — a client constructed with ``failover``
+  addresses rotates to the next target on fresh-connection transport
+  failures, on ``FENCED`` rejections (the server took itself out of
+  service because a newer epoch exists — retrying *that* server can
+  never help, but the promoted peer is usually the next target), and
+  on whole-server ``UNAVAILABLE``/``SHUTTING_DOWN`` rejections (the
+  peer may be serving).  Rotation preserves the attempt budget; with a
+  single target a ``FENCED`` rejection raises immediately.
 
 Clock and sleep are injectable so tests drive the policy without real
 time passing.
@@ -51,6 +70,7 @@ from repro.serve.errors import (
     BackpressureError,
     BadRequestError,
     DeadlineExceededError,
+    FencedError,
     ProtocolError,
     ServeError,
     ServerFailedError,
@@ -68,6 +88,7 @@ _CODE_TO_ERROR = {
     "DEADLINE": DeadlineExceededError,
     "UNAVAILABLE": ServerUnavailableError,
     "SHUTTING_DOWN": ShuttingDownError,
+    "FENCED": FencedError,
     "FAILED": ServerFailedError,
 }
 
@@ -100,9 +121,16 @@ class DaemonClient:
         policy: Optional[RetryPolicy] = None,
         deadline_ms: Optional[int] = None,
         connect_timeout: float = 5.0,
+        failover: Optional[List[Tuple[str, int]]] = None,
     ) -> None:
         self.host = host
         self.port = port
+        #: Ordered connect targets: the primary address first, then any
+        #: failover addresses.  ``host``/``port`` always reflect the
+        #: *current* target.
+        self._targets: List[Tuple[str, int]] = [(host, port)]
+        self._targets.extend((h, p) for h, p in (failover or []))
+        self._target_index = 0
         self.policy = policy if policy is not None else RetryPolicy()
         #: Per-request deadline hint forwarded to the server (ms);
         #: ``None`` lets the server apply its configured default.
@@ -141,6 +169,15 @@ class DaemonClient:
             pass
         self._sock = None
 
+    def _rotate(self) -> bool:
+        """Advance to the next failover target; False with only one."""
+        if len(self._targets) <= 1:
+            return False
+        self._disconnect()
+        self._target_index = (self._target_index + 1) % len(self._targets)
+        self.host, self.port = self._targets[self._target_index]
+        return True
+
     def close(self) -> None:
         """Drop the connection (idempotent)."""
         self._disconnect()
@@ -171,7 +208,8 @@ class DaemonClient:
         obj = fields.get("obj") if isinstance(fields.get("obj"), str) else None
         last_error: Optional[Exception] = None
         out_of_budget = False
-        for attempt in range(policy.attempts):
+        attempt = 0
+        while attempt < policy.attempts:
             if self._out_of_budget(start):
                 out_of_budget = True
                 break
@@ -179,6 +217,7 @@ class DaemonClient:
             if self._out_of_budget(start):
                 out_of_budget = True
                 break
+            reused = self._sock is not None
             try:
                 response = self._round_trip(message)
             except (OSError, ProtocolError) as exc:
@@ -186,7 +225,15 @@ class DaemonClient:
                 # or the stream desynced.  Reconnect and retry.
                 self._disconnect()
                 last_error = exc
-                if not self._pause(attempt, start, None):
+                if reused:
+                    # A reused connection can die for reasons that
+                    # predate this request (the server drained and
+                    # closed the idle socket during graceful shutdown):
+                    # retry once on a fresh connection, free of charge.
+                    continue
+                self._rotate()
+                attempt += 1
+                if not self._pause(attempt - 1, start, None):
                     break
                 continue
             shard = response.get("shard")
@@ -203,9 +250,23 @@ class DaemonClient:
             retry_after_ms = error.get("retry_after_ms")
             exc = self._as_exception(code, error.get("message", ""),
                                      retry_after_ms)
+            if code == "FENCED" and self._rotate():
+                # This server stood down for a newer epoch; try the
+                # next target (usually the promoted witness).
+                last_error = exc
+                attempt += 1
+                if not self._pause(attempt - 1, start, None):
+                    break
+                continue
             if code not in RETRYABLE_CODES:
                 raise exc
             last_error = exc
+            if code in ("UNAVAILABLE", "SHUTTING_DOWN"):
+                # Whole-server conditions: the peer target (a promoted
+                # witness, or the primary a witness still defers to)
+                # may serve right now.  BACKPRESSURE stays put — it is
+                # transient load, not a role problem.
+                self._rotate()
             if isinstance(shard, int) and retry_after_ms is not None:
                 # Shard-scoped hint: raise that shard's floor only.
                 # The floor gate above makes *this* request (which is
@@ -217,7 +278,8 @@ class DaemonClient:
                     policy.clock() + retry_after_ms / 1000.0,
                 )
                 retry_after_ms = None
-            if not self._pause(attempt, start, retry_after_ms):
+            attempt += 1
+            if not self._pause(attempt - 1, start, retry_after_ms):
                 break
         # Budget exhaustion is a deadline condition; attempts exhaustion
         # re-raises the (typed, retryable) condition that kept failing.

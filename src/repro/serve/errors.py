@@ -113,6 +113,21 @@ class ShuttingDownError(ServerUnavailableError):
         return True
 
 
+class FencedError(ServeError):
+    """The responder's replication epoch outranks the caller's.
+
+    A promoted witness answers a zombie primary's replication frames
+    with this, and a primary that has learned it was fenced answers
+    *all* writes with it — an ack from the old epoch must never be
+    produced.  Retrying the same server cannot help, but a client
+    configured with failover targets rotates to the next target on this
+    code (the new epoch's server is elsewhere), so the client treats it
+    as retryable when, and only when, it has somewhere else to go.
+    """
+
+    code = "FENCED"
+
+
 class ServerFailedError(ServeError):
     """Recovery did not converge: the system is FAILED until an
     operator intervenes.  Never retried automatically."""

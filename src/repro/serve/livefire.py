@@ -559,13 +559,19 @@ class LiveFireHarness:
         raise AssertionError("serve subprocess never wrote its port file")
 
     def _healthz(self, http_port: int) -> Dict[str, Any]:
-        """Poll ``/healthz`` until it answers 200, returning the body."""
+        """Poll readiness until it answers 200, returning the body.
+
+        Plain ``/healthz`` is liveness and answers 200 while still
+        RECOVERING; the audit needs the stricter ``?ready=1`` verdict
+        (HEALTHY and not draining) before it reads anything back.
+        """
         deadline = time.monotonic() + self.config.subprocess_timeout
         last: Dict[str, Any] = {}
         while time.monotonic() < deadline:
             try:
                 with urllib.request.urlopen(
-                    f"http://127.0.0.1:{http_port}/healthz", timeout=2.0
+                    f"http://127.0.0.1:{http_port}/healthz?ready=1",
+                    timeout=2.0,
                 ) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:

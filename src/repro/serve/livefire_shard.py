@@ -26,6 +26,9 @@ the victim's recovery and the final audit.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -74,6 +77,14 @@ class ShardLiveFireConfig:
     client_deadline: float = 5.0
     #: Sentinel puts per surviving shard while the victim is down.
     sentinels_per_survivor: int = 2
+    #: Per-shard stable-store backend ("memory", "file", "logstore").
+    #: Durable backends get a per-shard directory under ``store_root``
+    #: and the backend's recommended cache strategy; "memory" keeps the
+    #: paper's simulated store.
+    store_backend: str = "memory"
+    #: Root directory for durable backends (a temp directory is created
+    #: per run when omitted).
+    store_root: Optional[str] = None
 
 
 @dataclass
@@ -167,9 +178,65 @@ class ShardLiveFireHarness:
             FaultModel.fuzz(seed * cfg.shards + index, cfg.rates)
             for index in range(cfg.shards)
         ]
+        store_factory, config_factory, cleanup = self._shard_factories(
+            seed, models
+        )
+        try:
+            return self._run_built(seed, models, store_factory,
+                                   config_factory)
+        finally:
+            cleanup()
+
+    def _shard_factories(self, seed, models):
+        """Per-shard store/config factories for the configured backend.
+
+        The default "memory" backend keeps the paper's simulated store;
+        a durable backend (satellite of the pluggable-backend API) gets
+        a per-shard directory and its recommended cache strategy, so a
+        v4 campaign can torture e.g. the log-structured store under
+        shard kills without any harness changes.
+        """
+        cfg = self.config
+        if cfg.store_backend == "memory":
+            return (
+                lambda index: FaultyStore(models[index]),
+                None,
+                lambda: None,
+            )
+        from repro.storage.registry import make_store, recommended_cache_config
+
+        root = cfg.store_root
+        created = None
+        if root is None:
+            created = root = tempfile.mkdtemp(prefix="v4-store-")
+        run_root = os.path.join(root, f"run{seed}")
+
+        def store_factory(index: int):
+            return make_store(
+                cfg.store_backend,
+                os.path.join(run_root, f"shard{index}"),
+                model=models[index],
+            )
+
+        def config_factory(index: int) -> SystemConfig:
+            return SystemConfig(
+                cache=recommended_cache_config(cfg.store_backend)
+            )
+
+        def cleanup() -> None:
+            target = created if created is not None else run_root
+            shutil.rmtree(target, ignore_errors=True)
+
+        return store_factory, config_factory, cleanup
+
+    def _run_built(
+        self, seed: int, models, store_factory, config_factory
+    ) -> ShardLiveFireOutcome:
+        cfg = self.config
         sharded = ShardedSystem.build(
             cfg.shards,
-            store_factory=lambda index: FaultyStore(models[index]),
+            config_factory=config_factory,
+            store_factory=store_factory,
             log_factory=lambda index: FaultyLog(models[index]),
         )
         register_workload_functions(sharded.registry)

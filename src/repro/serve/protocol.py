@@ -50,9 +50,11 @@ _LEN = struct.Struct("<I")
 #: not make a reader allocate gigabytes.
 MAX_FRAME = 16 * 1024 * 1024
 
-#: Request kinds the server understands.
+#: Request kinds the server understands.  ``promote`` is answered only
+#: by a witness daemon (a plain primary rejects it with BAD_REQUEST) —
+#: it is the operator-driven failover trigger.
 REQUEST_KINDS = frozenset(
-    {"ping", "get", "put", "delete", "apply", "health", "stats"}
+    {"ping", "get", "put", "delete", "apply", "health", "stats", "promote"}
 )
 
 #: Chaos-engineering kinds the *sharded* daemon accepts when started
@@ -60,7 +62,18 @@ REQUEST_KINDS = frozenset(
 #: in place, and revive it through supervised recovery.
 CHAOS_KINDS = frozenset({"kill_shard", "revive_shard"})
 
+#: Replication kinds, exchanged on the primary's normal listener but
+#: routed around the admission queue: a witness opens a connection and
+#: sends ``repl_subscribe`` (carrying its durable watermark + epoch);
+#: the primary pushes ``repl_batch`` frames down that connection and
+#: the witness answers each with ``repl_ack`` (its new durable
+#: watermark).  See :mod:`repro.replica.wire`.
+REPLICATION_KINDS = frozenset({"repl_subscribe", "repl_ack"})
+
 #: Stable rejection codes (mirrored by :mod:`repro.serve.errors`).
+#: ``FENCED`` means the responder's replication epoch outranks the
+#: caller's — a promoted witness refusing a zombie primary, or a fenced
+#: old primary refusing writes it may no longer ack.
 ERROR_CODES = frozenset(
     {
         "PROTOCOL",
@@ -71,6 +84,7 @@ ERROR_CODES = frozenset(
         "SHUTTING_DOWN",
         "DEGRADED",
         "FAILED",
+        "FENCED",
         "INTERNAL",
     }
 )

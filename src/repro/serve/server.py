@@ -47,7 +47,10 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.replica.sender import ReplicationConfig
 
 from repro.common.errors import (
     CorruptObjectError,
@@ -61,6 +64,7 @@ from repro.kernel.system import RecoverableSystem, SystemHealth
 from repro.obs.http import ObsHTTPServer
 from repro.obs.metrics import MetricsRegistry
 from repro.serve import protocol
+from repro.serve.errors import FencedError, ServerUnavailableError
 from repro.serve.watchdog import ServingWatchdog, WatchdogConfig
 from repro.storage.backup import FuzzyBackup
 
@@ -144,6 +148,7 @@ class ServeDaemon:
         system: RecoverableSystem,
         config: Optional[DaemonConfig] = None,
         backup: Optional[FuzzyBackup] = None,
+        replication: Optional["ReplicationConfig"] = None,
     ) -> None:
         self.system = system
         self.config = config if config is not None else DaemonConfig()
@@ -152,6 +157,15 @@ class ServeDaemon:
         self.watchdog = ServingWatchdog(
             system, backup=backup, config=self.config.watchdog
         )
+        #: Primary-side replication (None = standalone).  With a sender
+        #: attached, every write's ack additionally waits for the
+        #: witness's durable receipt — see :mod:`repro.replica.sender`.
+        self.replication = None
+        if replication is not None:
+            from repro.replica.sender import ReplicationSender
+
+            self.replication = ReplicationSender(self, replication)
+        self.role = "primary"
         self._queue: "queue.Queue[_Work]" = queue.Queue(
             maxsize=max(1, self.config.max_queue)
         )
@@ -168,6 +182,9 @@ class ServeDaemon:
         self._apply_idle.set()
         self._started = False
         self._op_counter = 0
+        #: Deadline of the request the apply thread is executing (the
+        #: replication wait honors it; single apply thread, no races).
+        self._deadline_in_flight: Optional[float] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -201,6 +218,7 @@ class ServeDaemon:
                 self._health_payload,
                 host=self.config.host,
                 port=self.config.http_port,
+                ready_provider=self._ready_payload,
             )
             self._http.start()
         listener = socket.create_server(
@@ -251,6 +269,10 @@ class ServeDaemon:
                     and self.system.health is SystemHealth.HEALTHY
                 ):
                     self.system.checkpoint(truncate=True)
+                if self.replication is not None:
+                    # Nudge the witness to materialize what it holds;
+                    # its receipt is not waited for (we are exiting).
+                    self.replication.ship_checkpoint_hint()
             except (ReproError, SimulatedCrash):
                 # A device that dies during the final force leaves a
                 # cleanly recoverable WAL tail (the torn-tail repair
@@ -283,6 +305,8 @@ class ServeDaemon:
         self._flush_queue(None, None)
 
     def _close_everything(self) -> None:
+        if self.replication is not None:
+            self.replication.close()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -355,6 +379,8 @@ class ServeDaemon:
                     break
                 self._admit(conn, request)
         finally:
+            if self.replication is not None:
+                self.replication.detach(conn)
             conn.close()
 
     def _admit(self, conn: _Connection, request: Dict[str, Any]) -> None:
@@ -377,6 +403,18 @@ class ServeDaemon:
                 )
             )
 
+        if kind in protocol.REPLICATION_KINDS:
+            # Replication frames route around the admission queue: the
+            # subscribe/ack stream must flow while the backlog is
+            # jammed, and the sender owns its own locking.
+            if self.replication is None:
+                reject(
+                    "BAD_REQUEST",
+                    "replication is not enabled on this server",
+                )
+                return
+            self.replication.handle_frame(conn, request)
+            return
         if kind not in protocol.REQUEST_KINDS:
             reject("BAD_REQUEST", f"unknown request kind {kind!r}")
             return
@@ -512,8 +550,25 @@ class ServeDaemon:
                 )
             )
             return
+        self._deadline_in_flight = work.deadline
         try:
             response = self._dispatch(request, request_id)
+        except FencedError as exc:
+            response = protocol.error_response(
+                request_id, "FENCED", str(exc), self.system.health.value
+            )
+        except ServerUnavailableError as exc:
+            # Replication could not confirm the witness's durable
+            # receipt: the write executed locally but was NOT acked —
+            # at-least-once retries are safe, acks are never produced
+            # without the receipt.
+            response = protocol.error_response(
+                request_id,
+                "UNAVAILABLE",
+                str(exc),
+                self.system.health.value,
+                exc.retry_after_ms or self.config.retry_after_ms,
+            )
         except DegradedModeError as exc:
             response = protocol.error_response(
                 request_id, "DEGRADED", str(exc), self.system.health.value
@@ -606,6 +661,10 @@ class ServeDaemon:
                 params=tuple(params),
             )
             return self._execute_durably(op, request_id, include_writes=True)
+        if kind == "promote":
+            raise protocol.ProtocolError(
+                "this server is not a witness; there is nothing to promote"
+            )
         raise protocol.ProtocolError(f"unhandled request kind {kind!r}")
 
     def _execute_durably(
@@ -618,14 +677,29 @@ class ServeDaemon:
 
         The force is the acknowledgment contract: a response with
         ``ok: true`` means the operation's record is on the stable log,
-        so no crash — SIGKILL included — can take it back.
+        so no crash — SIGKILL included — can take it back.  With
+        replication enabled the contract widens: the ack additionally
+        waits for the witness's durable receipt of the record
+        (semi-synchronous shipping), so the acked write survives the
+        loss of either machine; if the receipt cannot be confirmed the
+        client gets a retryable ``UNAVAILABLE`` and no ack.
         """
         system = self.system
+        if self.replication is not None and self.replication.fenced:
+            raise FencedError(
+                f"primary epoch {self.replication.epoch} is fenced; a "
+                "promoted witness is serving"
+            )
         writes = system.execute(op)
         system.log.force_through(op.lsi)
+        if self.replication is not None:
+            self.replication.replicate(op.lsi, self._deadline_in_flight)
         if system.obs.enabled:
             system.obs.count("serve.acked_writes")
         fields: Dict[str, Any] = {"lsi": op.lsi}
+        epoch = self.current_epoch()
+        if epoch is not None:
+            fields["epoch"] = epoch
         if include_writes:
             fields["writes"] = {
                 str(obj): protocol.encode_value(value)
@@ -634,6 +708,12 @@ class ServeDaemon:
         return protocol.ok_response(
             request_id, system.health.value, **fields
         )
+
+    def current_epoch(self) -> Optional[int]:
+        """This server's replication epoch (None when standalone)."""
+        if self.replication is not None:
+            return self.replication.epoch
+        return None
 
     @staticmethod
     def _require_obj(request: Dict[str, Any]) -> str:
@@ -649,13 +729,52 @@ class ServeDaemon:
         return self.system.obs if self.system.obs.enabled else None
 
     def _health_payload(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness: 200 while the process can make progress.
+
+        RECOVERING and DEGRADED are *live* states (the watchdog or an
+        operator is working the problem; restarting the process would
+        only repeat the ladder) — only FAILED, which explicitly needs
+        an operator, answers 503.  Load balancers and rolling deploys
+        should poll readiness (``/healthz?ready=1``) instead, which
+        additionally requires HEALTHY, not-draining, and a caught-up
+        replication pair.
+        """
         health = self.system.health
         payload = {
             "health": health.value,
+            "role": self.role,
             "lost_objects": sorted(map(str, self.system.lost_objects)),
             "queue_depth": self._queue.qsize(),
             "restarts": self.watchdog.restarts,
             "draining": self._draining.is_set(),
         }
-        status = 200 if health is SystemHealth.HEALTHY else 503
+        if self.replication is not None:
+            payload.update(self.replication.status())
+        status = 200 if health is not SystemHealth.FAILED else 503
         return status, payload
+
+    def _ready_payload(self) -> Tuple[int, Dict[str, Any]]:
+        """Readiness: 200 only when this server should receive traffic.
+
+        Requires HEALTHY (not RECOVERING/DEGRADED/FAILED), not
+        draining, and — when replication is enabled — an attached,
+        unfenced witness (writes cannot be acked without its receipt).
+        The witness daemon overrides this with its own caught-up rule.
+        """
+        _status, payload = self._health_payload()
+        reasons = []
+        health = self.system.health
+        if health is not SystemHealth.HEALTHY:
+            reasons.append(f"health is {health.value}")
+        if self._draining.is_set():
+            reasons.append("draining for shutdown")
+        if self.replication is not None:
+            if self.replication.fenced:
+                reasons.append("fenced: a newer epoch is serving")
+            elif not self.replication.attached:
+                reasons.append(
+                    "no witness attached; writes cannot be acknowledged"
+                )
+        payload["ready"] = not reasons
+        payload["not_ready_reasons"] = reasons
+        return (200 if not reasons else 503), payload

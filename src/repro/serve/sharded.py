@@ -249,6 +249,7 @@ class ShardedServeDaemon:
                 self._health_payload,
                 host=self.config.host,
                 port=self.config.http_port,
+                ready_provider=self._ready_payload,
             )
             self._http.start()
         listener = socket.create_server(
@@ -721,12 +722,13 @@ class ShardedServeDaemon:
         return self._combined_snapshot()
 
     def _health_payload(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness: 503 only when some shard is terminally FAILED."""
         healths = {
             str(shard.index): shard.system.health.value
             for shard in self._shards
         }
-        all_up = all(
-            shard.system.health is SystemHealth.HEALTHY and not shard.killed
+        any_failed = any(
+            shard.system.health is SystemHealth.FAILED
             for shard in self._shards
         )
         payload = {
@@ -738,7 +740,18 @@ class ShardedServeDaemon:
             "restarts": self.restarts(),
             "draining": self._draining.is_set(),
         }
-        return (200 if all_up else 503), payload
+        return (503 if any_failed else 200), payload
+
+    def _ready_payload(self) -> Tuple[int, Dict[str, Any]]:
+        """Readiness: every shard HEALTHY and alive, not draining."""
+        _status, payload = self._health_payload()
+        all_up = all(
+            shard.system.health is SystemHealth.HEALTHY and not shard.killed
+            for shard in self._shards
+        )
+        ready = all_up and not self._draining.is_set()
+        payload["ready"] = ready
+        return (200 if ready else 503), payload
 
     # ------------------------------------------------------------------
     # apply side: one worker per shard

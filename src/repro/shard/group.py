@@ -75,6 +75,10 @@ class FenceStatus:
     present_on: Tuple[int, ...]
     #: "complete" | "partial" | "conflicting".
     state: str
+    #: Human-readable diagnosis.  For a conflicting fence it names the
+    #: fence id and the lSI of each disagreeing copy, so an operator
+    #: can go straight to the corrupt record without replaying logs.
+    detail: str = ""
 
 
 @dataclass
@@ -312,6 +316,19 @@ class ShardedSystem:
                 state="conflicting",
             )
             if not agreeing:
+                reference_shard = next(iter(copies))
+                disagreeing = next(
+                    (shard, copy)
+                    for shard, copy in copies.items()
+                    if copy.participants != reference.participants
+                    or copy.vector != reference.vector
+                )
+                status.detail = (
+                    f"fence {fence_id!r}: shard {reference_shard}'s copy "
+                    f"at lSI {reference.lsi} disagrees with shard "
+                    f"{disagreeing[0]}'s copy at lSI {disagreeing[1].lsi} "
+                    "on participants or vector"
+                )
                 audit.conflicting.append(status)
             elif set(present) == set(reference.participants):
                 status.state = "complete"

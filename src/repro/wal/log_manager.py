@@ -169,6 +169,71 @@ class LogManager:
             )
             return self.append(FlushTxnCommitRecord(txn_id))
 
+    def reserve_lsis_through(self, lsi: StateId) -> None:
+        """Never assign lSIs at or below ``lsi`` to future appends.
+
+        A promoted witness calls this with the primary's last announced
+        stable end before its first local append: the shipped stream
+        had bookkeeping gaps above the witness's own stable end, and a
+        new history must not reuse any lSI the old primary ever
+        assigned.
+        """
+        with self._lock:
+            self._next_lsi = max(self._next_lsi, lsi + 1)
+
+    def adopt_records(self, records: List[LogRecord]) -> int:
+        """Durably adopt shipped records, preserving their origin lSIs.
+
+        A replication witness mirrors the primary's lSI space: shipped
+        records keep the lSIs the primary assigned, so the REDO test
+        and the watermark handshake mean the same thing on both sides.
+        The witness log therefore has *gaps* — the primary's private
+        bookkeeping records (installation, flush, checkpoint) describe
+        the primary's stable store and are never shipped — which the
+        gap-tolerant :meth:`is_stable` / :meth:`stable_records` already
+        handle.  Records at or below the current stable end are
+        duplicates from a re-ship after reconnect and are skipped
+        (adoption is idempotent); the remainder must be strictly
+        ascending.  Adoption goes straight through the forced path
+        (:meth:`_write_stable` via the transient-retry wrapper), so a
+        file-backed witness has the records on disk before this
+        returns — the receipt ack a witness sends upstream is a
+        durability promise.
+
+        Returns the number of records actually adopted.  Refuses to
+        interleave with locally appended volatile records: a witness
+        never calls :meth:`append` before promotion, and after
+        promotion it never adopts.
+        """
+        with self._lock:
+            if self._buffer:
+                raise WALViolationError(
+                    "cannot adopt shipped records into a log with "
+                    "buffered local appends"
+                )
+            floor = max(self.stable_end_lsi(), self._truncated_before - 1)
+            fresh: List[LogRecord] = []
+            for record in records:
+                if record.lsi <= floor:
+                    continue  # duplicate from a reconnect re-ship
+                if fresh and record.lsi <= fresh[-1].lsi:
+                    raise WALViolationError(
+                        "shipped records are not in ascending lSI order: "
+                        f"{record.lsi} after {fresh[-1].lsi}"
+                    )
+                fresh.append(record)
+            if not fresh:
+                return 0
+            self._buffer.extend(fresh)
+            self._next_lsi = max(self._next_lsi, fresh[-1].lsi + 1)
+            self._requested_high = max(self._requested_high, fresh[-1].lsi)
+            for record in fresh:
+                self.stats.log_records += 1
+                self.stats.log_bytes += record.record_size()
+                self.stats.log_value_bytes += record.value_bytes()
+            self._force_records(len(fresh))
+            return len(fresh)
+
     # ------------------------------------------------------------------
     # forcing (WAL)
     # ------------------------------------------------------------------

@@ -175,6 +175,35 @@ class FenceRecord(LogRecord):
 
 
 @dataclass
+class EpochRecord(LogRecord):
+    """Replication epoch marker: who may ack writes, fenced by number.
+
+    A primary/witness pair shares one logical history but only one
+    member may acknowledge writes at a time.  The *epoch* is a
+    monotonically increasing integer; promotion appends and forces an
+    ``EpochRecord`` with ``epoch + 1`` before the witness starts
+    serving, so a partitioned "zombie" primary still running at the old
+    epoch can be refused deterministically (its replication frames and
+    late acks carry a smaller number).  Analysis and redo skip epoch
+    records like any kind they do not know; the record exists for the
+    replication layer and for post-mortem audits of who was serving
+    when.  Because checkpoint truncation may drop old epoch records,
+    the durable source of truth is the ``epoch.json`` sidecar
+    (:class:`repro.replica.epoch.EpochStore`); the WAL record is the
+    in-band, shippable copy.
+    """
+
+    epoch: int
+    #: Role the writer assumed at this epoch: "primary" or "witness".
+    role: str
+    #: Free-form annotation (e.g. the promotion watermark).
+    note: str = ""
+
+    def record_size(self) -> int:
+        return RECORD_HEADER_SIZE + 2 * SCALAR_SIZE + len(self.note)
+
+
+@dataclass
 class FlushTxnValuesRecord(LogRecord):
     """Object values written to the log by a flush transaction."""
 

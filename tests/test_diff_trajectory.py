@@ -114,6 +114,26 @@ class TestCollectLanes:
             ),
         }
 
+    def test_lag_lane_is_lower_is_better(self):
+        # The E15 replication lanes: witness redo-lag watermarks and
+        # failover percentiles both regress upward.
+        lanes = collect_lanes(
+            {
+                "redo_lag": {"lag_records_peak": 12, "redo_cycles": 4},
+                "failover_campaign": {"seconds_per_failover_p95": 0.2},
+            }
+        )
+        assert lanes == {
+            "redo_lag.lag_records_peak": (12.0, False),
+            "failover_campaign.seconds_per_failover_p95": (0.2, False),
+        }
+
+    def test_lag_rise_regresses(self):
+        base = collect_lanes({"x": {"lag_records_peak": 10}})
+        cur = collect_lanes({"x": {"lag_records_peak": 20}})
+        _, regressions = compare(base, cur, threshold=0.2)
+        assert len(regressions) == 1
+
     def test_c3_rise_from_zero_regresses(self):
         # The zero is a pinned claim: any rise off it must fail the
         # build, threshold notwithstanding.

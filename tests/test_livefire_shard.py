@@ -11,6 +11,8 @@ seeds keep the tier-1 suite fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.serve import ShardLiveFireConfig, ShardLiveFireHarness
@@ -43,3 +45,27 @@ def test_cross_shard_traffic_is_exercised():
     assert outcome.ok, outcome.error
     assert outcome.cross_acked > 0
     assert outcome.fences_complete > 0
+
+
+def test_campaign_over_logstore_backend(tmp_path):
+    # The same kill-and-audit contract with each shard's store swapped
+    # for the log-structured backend (PR 8): per-shard roots, the
+    # backend's recommended cache config, and full cleanup after.
+    config = ShardLiveFireConfig(
+        store_backend="logstore",
+        store_root=str(tmp_path / "v4-logstore"),
+        clients=2,
+        requests_per_client=6,
+    )
+    report = ShardLiveFireHarness(config).campaign(runs=2, seed=5)
+    assert report.failures() == []
+    assert report.total_acked > 0
+    assert report.total_losses == 0
+    # The harness cleans up the per-run store directories it created.
+    assert os.listdir(str(tmp_path / "v4-logstore")) == []
+
+
+def test_unknown_store_backend_fails_fast():
+    config = ShardLiveFireConfig(store_backend="no-such-backend")
+    with pytest.raises(ValueError):
+        ShardLiveFireHarness(config).run(0)

@@ -62,6 +62,16 @@ class TestTopLevel:
         ):
             assert name in repro.__all__, name
 
+    def test_replication_surface_exported(self):
+        # The primary/witness surface (PR 9): the epoch sidecar, the
+        # sender/witness pair, and the torture v5 harness.
+        for name in (
+            "EpochStore", "FencedError", "ReplicationConfig",
+            "ReplicationSender", "WitnessConfig", "WitnessDaemon",
+            "ReplicaLiveFireConfig", "ReplicaLiveFireHarness",
+        ):
+            assert name in repro.__all__, name
+
 
 class TestStorageModule:
     def test_all_names_resolve(self):

@@ -1,0 +1,423 @@
+"""Replication units and pair integration (repro.replica).
+
+Unit layers first — the durable epoch sidecar, the wire envelopes, the
+log manager's adopt/reserve primitives — then live in-process pairs:
+attach and semi-synchronous shipping, readiness, promotion, and the
+epoch fence against a zombie primary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.errors import WALViolationError
+from repro.common.identifiers import NULL_SI
+from repro.core.operation import Operation, OpKind
+from repro.kernel.system import RecoverableSystem
+from repro.replica import (
+    INITIAL_EPOCH,
+    EpochStore,
+    ReplicationConfig,
+    WitnessConfig,
+    WitnessDaemon,
+)
+from repro.replica.wire import (
+    batch_frame,
+    decode_records,
+    encode_records,
+    shippable,
+)
+from repro.serve import (
+    DaemonClient,
+    DaemonConfig,
+    FencedError,
+    ProtocolError,
+    RetryPolicy,
+    ServeDaemon,
+    ServeError,
+    ServerUnavailableError,
+)
+from repro.wal.log_manager import LogManager
+from repro.wal.records import (
+    CheckpointRecord,
+    EpochRecord,
+    FenceRecord,
+    InstallationRecord,
+    LogRecord,
+    OperationRecord,
+)
+from repro.workloads import register_workload_functions
+
+
+def _op_record(lsi: int, obj: str = "x", value: bytes = b"v") -> OperationRecord:
+    record = OperationRecord(
+        Operation(
+            f"op@{lsi}",
+            OpKind.PHYSICAL,
+            reads=set(),
+            writes={obj},
+            payload={obj: value},
+        )
+    )
+    record.lsi = lsi
+    record.op.lsi = lsi
+    return record
+
+
+# ----------------------------------------------------------------------
+# the durable epoch sidecar
+# ----------------------------------------------------------------------
+class TestEpochStore:
+    def test_memory_store_starts_at_initial(self):
+        store = EpochStore()
+        assert store.load() == INITIAL_EPOCH
+
+    def test_memory_store_is_monotone(self):
+        store = EpochStore()
+        assert store.save(3) == 3
+        assert store.save(2) == 3  # smaller numbers are ignored
+        assert store.load() == 3
+
+    def test_file_store_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "epoch")
+        EpochStore(root).save(7)
+        # A fresh instance — the reboot — must see the promoted number.
+        assert EpochStore(root).load() == 7
+
+    def test_file_store_is_monotone_across_instances(self, tmp_path):
+        root = str(tmp_path / "epoch")
+        EpochStore(root).save(5)
+        assert EpochStore(root).save(4) == 5
+        assert EpochStore(root).load() == 5
+
+    def test_corrupt_sidecar_degrades_to_initial(self, tmp_path):
+        root = str(tmp_path / "epoch")
+        store = EpochStore(root)
+        store.save(9)
+        with open(store.path, "w", encoding="utf-8") as handle:
+            handle.write("{torn")
+        assert store.load() == INITIAL_EPOCH
+
+
+# ----------------------------------------------------------------------
+# the wire envelopes
+# ----------------------------------------------------------------------
+class TestWire:
+    def test_shippable_filter(self):
+        assert shippable(_op_record(1))
+        assert shippable(FenceRecord("f", 0, (0,), {0: 1}))
+        assert shippable(EpochRecord(2, "primary"))
+        # The primary's private bookkeeping never crosses the channel.
+        assert not shippable(CheckpointRecord({}))
+        assert not shippable(InstallationRecord({}, {}, []))
+        assert not shippable(LogRecord())
+
+    def test_encode_decode_round_trip(self):
+        records = [_op_record(4, value=b"payload"), _op_record(7)]
+        decoded = decode_records(encode_records(records))
+        assert [r.lsi for r in decoded] == [4, 7]
+        assert decoded[0].op.payload == {"x": b"payload"}
+
+    def test_batch_frame_shape(self):
+        frame = batch_frame(2, 9, [_op_record(8)], checkpoint=True)
+        assert frame["kind"] == "repl_batch"
+        assert frame["epoch"] == 2
+        assert frame["through"] == 9
+        assert frame["checkpoint"] is True
+        assert len(frame["records"]) == 1
+
+    def test_decode_rejects_non_string(self):
+        with pytest.raises(ProtocolError):
+            decode_records([42])
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_records(["not base64 pickle!!"])
+
+    def test_decode_rejects_non_record_pickle(self):
+        import base64
+        import pickle
+
+        blob = base64.b64encode(pickle.dumps({"not": "a record"})).decode()
+        with pytest.raises(ProtocolError):
+            decode_records([blob])
+
+
+# ----------------------------------------------------------------------
+# the log manager's adoption primitives
+# ----------------------------------------------------------------------
+class TestAdoptRecords:
+    def test_adopt_preserves_origin_lsis_with_gaps(self):
+        log = LogManager()
+        adopted = log.adopt_records([_op_record(3), _op_record(7)])
+        assert adopted == 2
+        assert [r.lsi for r in log.stable_records()] == [3, 7]
+        assert log.stable_end_lsi() == 7
+
+    def test_adopt_skips_duplicates_from_reship(self):
+        log = LogManager()
+        log.adopt_records([_op_record(3), _op_record(5)])
+        # A reconnect re-ships an overlapping window; only the new
+        # suffix lands.
+        assert log.adopt_records([_op_record(3), _op_record(5),
+                                  _op_record(8)]) == 1
+        assert [r.lsi for r in log.stable_records()] == [3, 5, 8]
+
+    def test_adopt_rejects_out_of_order_batch(self):
+        log = LogManager()
+        with pytest.raises(WALViolationError):
+            log.adopt_records([_op_record(5), _op_record(4)])
+
+    def test_adopt_refuses_buffered_local_appends(self):
+        log = LogManager()
+        log.append(LogRecord())  # volatile local append, not forced
+        with pytest.raises(WALViolationError):
+            log.adopt_records([_op_record(9)])
+
+    def test_adopted_records_are_stable_immediately(self):
+        # The receipt ack is a durability promise: adoption goes
+        # through the forced path, nothing lingers in the buffer.
+        log = LogManager()
+        log.adopt_records([_op_record(2)])
+        assert log.is_stable(2)
+
+    def test_reserve_lsis_through_fences_old_history(self):
+        log = LogManager()
+        log.adopt_records([_op_record(4)])
+        log.reserve_lsis_through(10)
+        lsi = log.append(LogRecord())
+        assert lsi == 11  # no lSI the old primary may have used
+
+    def test_reserve_never_moves_backwards(self):
+        log = LogManager()
+        log.reserve_lsis_through(10)
+        log.reserve_lsis_through(3)
+        assert log.append(LogRecord()) == 11
+
+
+# ----------------------------------------------------------------------
+# live pairs
+# ----------------------------------------------------------------------
+def _start_pair(redo_every_records: int = 8):
+    primary_system = RecoverableSystem()
+    register_workload_functions(primary_system.registry)
+    primary = ServeDaemon(
+        primary_system,
+        DaemonConfig(port=0, http_port=None, retry_after_ms=5),
+        replication=ReplicationConfig(ack_timeout_s=2.0, retry_after_ms=5),
+    ).start()
+    witness_system = RecoverableSystem()
+    register_workload_functions(witness_system.registry)
+    witness = WitnessDaemon(
+        witness_system,
+        DaemonConfig(port=0, http_port=None, retry_after_ms=5),
+        witness=WitnessConfig(
+            primary_port=primary.port,
+            redo_every_records=redo_every_records,
+            reconnect_delay_s=0.02,
+        ),
+    ).start()
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if witness.attached and primary.replication.attached:
+            return primary, witness
+        time.sleep(0.01)
+    witness.stop(graceful=False)
+    primary.kill()
+    raise AssertionError("witness never attached")
+
+
+def _client(port: int, attempts: int = 5) -> DaemonClient:
+    return DaemonClient(
+        "127.0.0.1", port,
+        policy=RetryPolicy(attempts=attempts, base_delay=0.01,
+                           max_delay=0.05),
+    )
+
+
+class TestPair:
+    def test_acks_wait_for_witness_watermark(self):
+        primary, witness = _start_pair()
+        try:
+            client = _client(primary.port)
+            for index in range(6):
+                response = client.request(
+                    "put", obj="p:x", value=f"v{index}"
+                )
+                assert response["ok"]
+                # Semi-synchronous: by ack time the witness's durable
+                # watermark covers the acked lSI.
+                assert witness.system.log.is_stable(response["lsi"])
+            client.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_witness_refuses_data_ops_before_promotion(self):
+        primary, witness = _start_pair()
+        try:
+            client = _client(witness.port, attempts=1)
+            with pytest.raises(ServerUnavailableError):
+                client.request("put", obj="w:x", value="nope")
+            client.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_primary_refuses_replication_frames_from_clients(self):
+        primary, witness = _start_pair()
+        try:
+            client = _client(witness.port, attempts=1)
+            with pytest.raises(ServeError) as err:
+                client.request("repl_subscribe", watermark=0, epoch=1)
+            assert err.value.code == "BAD_REQUEST"
+            client.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_readiness_tracks_attachment_and_promotion(self):
+        primary, witness = _start_pair()
+        try:
+            status, ready = primary._ready_payload()
+            assert status == 200
+            assert ready["ready"] is True
+            wstatus, wready = witness._ready_payload()
+            # An attached, caught-up witness is "ready" as a witness.
+            assert wstatus == 200
+            assert wready["role"] == "witness"
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_kill_promote_serves_acked_state(self):
+        primary, witness = _start_pair()
+        try:
+            client = _client(primary.port)
+            acked = {}
+            for index in range(10):
+                obj = f"kp:{index % 3}"
+                value = f"v{index}"
+                response = client.request("put", obj=obj, value=value)
+                acked[obj] = (value, response["lsi"])
+            client.close()
+            primary.kill()
+            pclient = _client(witness.port, attempts=10)
+            promote = pclient.request("promote")
+            assert promote["role"] == "primary"
+            assert promote["epoch"] == INITIAL_EPOCH + 1
+            assert witness.promoted
+            # Every acked write is visible, exactly once, at or past
+            # its acked lSI.
+            for obj, (value, lsi) in acked.items():
+                got = pclient.request("get", obj=obj)
+                assert got["value"] == value
+                assert got["vsi"] >= lsi
+            # And the promoted daemon accepts new writes.
+            assert pclient.request("put", obj="kp:new", value="after")["ok"]
+            pclient.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_promotion_is_idempotent(self):
+        primary, witness = _start_pair()
+        try:
+            primary.kill()
+            client = _client(witness.port, attempts=10)
+            first = client.request("promote")
+            second = client.request("promote")
+            assert second["epoch"] == first["epoch"]
+            assert second["role"] == "primary"
+            client.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_zombie_primary_is_fenced(self):
+        primary, witness = _start_pair()
+        try:
+            client = _client(primary.port)
+            client.request("put", obj="z:x", value="before")
+            client.close()
+            # Promote while the primary is still alive: the fence ack
+            # must depose it.
+            pclient = _client(witness.port, attempts=10)
+            pclient.request("promote")
+            pclient.close()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if primary.replication.status()["fenced"]:
+                    break
+                time.sleep(0.01)
+            assert primary.replication.status()["fenced"]
+            zombie = _client(primary.port, attempts=1)
+            with pytest.raises(FencedError):
+                zombie.request("put", obj="z:x", value="zombie")
+            zombie.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_client_fails_over_from_fenced_primary(self):
+        primary, witness = _start_pair()
+        try:
+            pclient = _client(witness.port, attempts=10)
+            pclient.request("promote")
+            pclient.close()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if primary.replication.status()["fenced"]:
+                    break
+                time.sleep(0.01)
+            # A failover-aware client pointed at the fenced primary
+            # rotates to the promoted witness and gets its ack there.
+            client = DaemonClient(
+                "127.0.0.1", primary.port,
+                failover=[("127.0.0.1", witness.port)],
+                policy=RetryPolicy(attempts=6, base_delay=0.01,
+                                   max_delay=0.05),
+            )
+            response = client.request("put", obj="fo:x", value="moved")
+            assert response["ok"]
+            assert response["epoch"] == INITIAL_EPOCH + 1
+            client.close()
+        finally:
+            witness.stop(graceful=False)
+            primary.kill()
+
+    def test_unreplicated_primary_acks_without_witness(self):
+        # Replication off: the single-daemon contract is unchanged.
+        system = RecoverableSystem()
+        register_workload_functions(system.registry)
+        daemon = ServeDaemon(
+            system, DaemonConfig(port=0, http_port=None)
+        ).start()
+        try:
+            client = _client(daemon.port)
+            assert client.request("put", obj="solo", value="v")["ok"]
+            client.close()
+        finally:
+            daemon.kill()
+
+    def test_replicated_primary_without_witness_refuses_acks(self):
+        # CP choice: rather than ack a write the witness never saw,
+        # the primary answers UNAVAILABLE (retryable) until one
+        # attaches.
+        system = RecoverableSystem()
+        register_workload_functions(system.registry)
+        daemon = ServeDaemon(
+            system,
+            DaemonConfig(port=0, http_port=None, retry_after_ms=5),
+            replication=ReplicationConfig(ack_timeout_s=0.1,
+                                          retry_after_ms=5),
+        ).start()
+        try:
+            client = _client(daemon.port, attempts=2)
+            with pytest.raises(ServerUnavailableError):
+                client.request("put", obj="np:x", value="v")
+            client.close()
+        finally:
+            daemon.kill()

@@ -18,6 +18,7 @@ from repro.serve.errors import (
     BackpressureError,
     BadRequestError,
     DeadlineExceededError,
+    FencedError,
     ProtocolError,
     ServerFailedError,
     ServerUnavailableError,
@@ -323,3 +324,106 @@ class TestPerShardBackpressure:
         # must not trip over any floor.
         client.request("ping")
         assert clock.sleeps == []
+
+
+def make_failover_client(responses, **policy_kw):
+    """A client with one failover target, scripted like make_client."""
+    clock = FakeClock()
+    policy_kw.setdefault("base_delay", 0.01)
+    policy_kw.setdefault("jitter", 0.0)
+    policy = RetryPolicy(
+        sleep=clock.sleep, clock=clock, rng=random.Random(0), **policy_kw
+    )
+    client = DaemonClient(
+        "127.0.0.1", 1, failover=[("127.0.0.2", 2)], policy=policy
+    )
+    remaining = scripted(client, responses)
+    return client, clock, remaining
+
+
+class TestStaleConnectionRetry:
+    """A connection reset on a *reused* socket is never the request's
+    fault: the server may have drained and closed the idle connection
+    between requests.  The client must retry once on a fresh
+    connection without burning an attempt — and the raw OSError must
+    never escape to the caller."""
+
+    def test_reused_connection_reset_gets_free_retry(self):
+        client, clock, _ = make_client(
+            [ConnectionResetError("reset by peer"), OK], attempts=1
+        )
+        # Simulate an idle kept-alive connection from a prior request.
+        client._sock = object()
+        client._disconnect = lambda: setattr(client, "_sock", None)
+        assert client.request("put", obj="x", value="v")["ok"]
+        # Free of charge: no backoff, and attempts=1 still succeeded.
+        assert clock.sleeps == []
+
+    def test_free_retry_happens_at_most_once(self):
+        # After the free retry the connection is fresh; a second
+        # failure is a real one and burns attempts as usual.
+        client, _, _ = make_client(
+            [ConnectionResetError("reset"), OSError("refused")],
+            attempts=1,
+        )
+        client._sock = object()
+        client._disconnect = lambda: setattr(client, "_sock", None)
+        with pytest.raises(ServerUnavailableError):
+            client.request("put", obj="x", value="v")
+
+    def test_reset_during_drain_is_wrapped_not_raised_raw(self):
+        client, _, _ = make_client(
+            [ConnectionResetError("reset by peer")] * 2, attempts=2
+        )
+        with pytest.raises(ServerUnavailableError) as err:
+            client.request("put", obj="x", value="v")
+        assert not isinstance(err.value, ConnectionResetError)
+
+
+class TestFailover:
+    def test_fresh_connect_failure_rotates(self):
+        client, _, _ = make_failover_client(
+            [OSError("refused"), OK], attempts=2
+        )
+        assert client.request("put", obj="x", value="v")["ok"]
+        assert (client.host, client.port) == ("127.0.0.2", 2)
+
+    def test_fenced_rotates_to_promoted_peer(self):
+        client, _, _ = make_failover_client(
+            [reject("FENCED"), OK], attempts=2
+        )
+        assert client.request("put", obj="x", value="v")["ok"]
+        assert (client.host, client.port) == ("127.0.0.2", 2)
+
+    def test_fenced_without_failover_is_terminal(self):
+        client, _, _ = make_client([reject("FENCED"), OK], attempts=3)
+        with pytest.raises(FencedError):
+            client.request("put", obj="x", value="v")
+
+    def test_unavailable_rotates_whole_server(self):
+        client, _, _ = make_failover_client(
+            [reject("UNAVAILABLE"), OK], attempts=2
+        )
+        assert client.request("put", obj="x", value="v")["ok"]
+        assert (client.host, client.port) == ("127.0.0.2", 2)
+
+    def test_backpressure_stays_on_the_same_target(self):
+        # Transient load is not a role problem; hopping targets would
+        # just thrash both servers.
+        client, _, _ = make_failover_client(
+            [reject("BACKPRESSURE"), OK], attempts=2
+        )
+        assert client.request("put", obj="x", value="v")["ok"]
+        assert (client.host, client.port) == ("127.0.0.1", 1)
+
+    def test_rotation_wraps_back_to_the_first_target(self):
+        client, _, _ = make_failover_client(
+            [OSError("a"), OSError("b"), OK], attempts=3
+        )
+        assert client.request("put", obj="x", value="v")["ok"]
+        assert (client.host, client.port) == ("127.0.0.1", 1)
+
+    def test_single_target_never_rotates(self):
+        client, _, _ = make_client([OSError("refused"), OK], attempts=2)
+        assert client.request("put", obj="x", value="v")["ok"]
+        assert (client.host, client.port) == ("127.0.0.1", 1)

@@ -394,19 +394,58 @@ class TestHTTPEndpoint:
         finally:
             daemon.stop(graceful=False)
 
-    def test_healthz_503_when_not_healthy(self):
+    def test_liveness_vs_readiness_when_degraded(self):
+        # The split: DEGRADED is *live* (restarting the process would
+        # only repeat the escalation ladder) but not *ready* (it should
+        # not receive fresh traffic).  Plain /healthz answers 200 with
+        # the degraded body; /healthz?ready=1 answers 503.
         system = RecoverableSystem()
         daemon = ServeDaemon(
             system, DaemonConfig(port=0, http_port=0)
         ).start()
         try:
             system.enter_degraded({"gone"})
+            base = f"http://127.0.0.1:{daemon.http_port}/healthz"
+            with urllib.request.urlopen(base, timeout=5) as r:
+                assert r.status == 200
+                body = json.loads(r.read().decode())
+            assert body["health"] == "degraded"
+            assert body["lost_objects"] == ["gone"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}?ready=1", timeout=5)
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read().decode())
+            assert body["ready"] is False
+            assert any("degraded" in r for r in body["not_ready_reasons"])
+        finally:
+            daemon.stop(graceful=False)
+
+    def test_readiness_200_when_healthy(self):
+        system = RecoverableSystem()
+        daemon = ServeDaemon(
+            system, DaemonConfig(port=0, http_port=0)
+        ).start()
+        try:
+            url = f"http://127.0.0.1:{daemon.http_port}/healthz?ready=1"
+            with urllib.request.urlopen(url, timeout=5) as r:
+                assert r.status == 200
+                body = json.loads(r.read().decode())
+            assert body["ready"] is True
+        finally:
+            daemon.stop(graceful=False)
+
+    def test_liveness_503_only_when_failed(self):
+        system = RecoverableSystem()
+        daemon = ServeDaemon(
+            system, DaemonConfig(port=0, http_port=0)
+        ).start()
+        try:
+            system.mark_failed()
             url = f"http://127.0.0.1:{daemon.http_port}/healthz"
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(url, timeout=5)
             assert excinfo.value.code == 503
             body = json.loads(excinfo.value.read().decode())
-            assert body["health"] == "degraded"
-            assert body["lost_objects"] == ["gone"]
+            assert body["health"] == "failed"
         finally:
             daemon.stop(graceful=False)

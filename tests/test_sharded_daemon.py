@@ -252,15 +252,24 @@ class TestObservability:
                 # appear in the one merged rendering.
                 assert "serve_shard_0_acked_writes" in text.replace(".", "_")
                 assert "shard0" in text
-                # 503 while one shard is down.
+                # With one shard down: liveness stays 200 (nothing is
+                # terminally FAILED) but readiness flips to 503.
                 client.request("kill_shard", shard=1)
                 url = f"http://127.0.0.1:{daemon.http_port}/healthz"
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    body = json.load(resp)
+                assert resp.status == 200
+                assert 1 in body["killed"]
+                url = f"http://127.0.0.1:{daemon.http_port}/healthz?ready=1"
                 try:
                     with urllib.request.urlopen(url, timeout=5) as resp:
                         status = resp.status
+                        body = json.load(resp)
                 except urllib.error.HTTPError as exc:
                     status = exc.code
+                    body = json.load(exc)
                 assert status == 503
+                assert body["ready"] is False
         finally:
             daemon.stop(graceful=False)
 

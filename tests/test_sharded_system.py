@@ -209,6 +209,25 @@ class TestFenceAudit:
         assert not audit.ok
         assert len(audit.conflicting) == 1
 
+    def test_conflicting_detail_names_fence_and_both_lsis(self):
+        # The diagnosis must point the operator at the corrupt record:
+        # the fence id and the stable lSI of each disagreeing copy.
+        sharded = _sharded(2)
+        lsis = {}
+        for shard, vector in ((0, {1: 1}), (1, {1: 99})):
+            log = sharded.systems[shard].log
+            lsi = log.append(self._agreeing(vector=vector))
+            log.force_through(lsi)
+            lsis[shard] = lsi
+        audit = sharded.fence_audit()
+        status = audit.conflicting[0]
+        assert "xs:1@1" in status.detail
+        assert f"lSI {lsis[0]}" in status.detail
+        assert f"lSI {lsis[1]}" in status.detail
+        assert "shard 0" in status.detail and "shard 1" in status.detail
+        # Agreeing fences carry no diagnosis.
+        assert all(s.detail == "" for s in audit.complete + audit.partial)
+
     def test_conflicting_participants_flagged(self):
         sharded = _sharded(3)
         for shard, participants in ((0, (0, 1)), (1, (0, 1, 2))):
