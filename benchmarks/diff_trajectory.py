@@ -13,7 +13,9 @@ wall-time lanes E11 records), any numeric ``c3_*`` entry (lower is
 better — the storage cost counters E14 records; the log-structured
 lanes pin several of these at zero), or any numeric ``lag_*`` entry
 (lower is better — the witness redo-lag and failover-time lanes E15
-records), addressed by its dotted path
+records), or any numeric ``stage_ms_*`` entry (lower is better — the
+per-stage latency-attribution lanes E16 records), addressed by its
+dotted path
 (e.g. ``graph_maintenance.indexed.75% logical@1000``,
 ``serving_throughput.acked_per_s``,
 ``recovery_telemetry.seconds_per_attempt`` or
@@ -72,7 +74,8 @@ def collect_lanes(data, prefix: str = "") -> Dict[str, Lane]:
         if str(key).startswith("acked_per_s"):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), True)
-        elif str(key).startswith(("seconds_per_", "c3_", "lag_")):
+        elif str(key).startswith(("seconds_per_", "c3_", "lag_",
+                                  "stage_ms_")):
             path = f"{prefix}.{key}" if prefix else str(key)
             lanes[path] = (float(value), False)
     return lanes

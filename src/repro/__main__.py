@@ -52,7 +52,13 @@
 * ``metrics <file.jsonl>`` — render a telemetry file exported with
   ``--metrics-out`` (or :func:`repro.obs.dump_jsonl`) as
   Prometheus-style exposition text; ``--summary`` prints the condensed
-  counter/latency table instead.
+  counter/latency table (histogram p50/p95/p99 included) instead.
+* ``trace <file.jsonl> [more.jsonl ...]`` — stitch the span exports of
+  every process on a request's path (client, primary, shards, witness)
+  back into causal trace trees with per-stage latency attribution.
+  ``--list`` enumerates the trace ids present; ``--trace-id`` renders
+  one; ``--expect a,b,c`` exits non-zero unless some complete tree
+  contains all the named stages (the CI trace-smoke assertion).
 
 Every torture mode accepts ``--metrics-out PATH``: the campaign runs
 with a shared :class:`~repro.obs.metrics.MetricsRegistry` attached to
@@ -456,6 +462,9 @@ def serve_daemon(args: argparse.Namespace) -> int:
                 max_queue=args.max_queue,
                 default_deadline_ms=args.default_deadline_ms,
                 allow_chaos=args.allow_chaos,
+                flightrec_path=os.path.join(
+                    args.data_dir, "flightrec.jsonl"
+                ),
             ),
         )
         daemon.start()
@@ -496,6 +505,7 @@ def serve_daemon(args: argparse.Namespace) -> int:
         http_port=None if args.no_http else args.http_port,
         max_queue=args.max_queue,
         default_deadline_ms=args.default_deadline_ms,
+        flightrec_path=os.path.join(args.data_dir, "flightrec.jsonl"),
     )
     if args.witness_of:
         primary_host, primary_port = _parse_primary(args.witness_of)
@@ -583,6 +593,31 @@ def metrics_view(args: argparse.Namespace) -> int:
     else:
         print(rendered, end="")
     return 0
+
+
+def trace_view(args: argparse.Namespace) -> int:
+    from repro.obs.tracetree import main as trace_main
+
+    expect = None
+    if args.expect:
+        expect = [part.strip() for part in args.expect.split(",")
+                  if part.strip()]
+    try:
+        return trace_main(
+            args.paths,
+            trace_id=args.trace_id,
+            list_only=args.list_traces,
+            expect=expect,
+        )
+    except OSError as exc:
+        print(f"cannot read telemetry file: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError) as exc:
+        print(
+            f"not a telemetry JSONL export: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -793,6 +828,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="condensed counter/latency table instead of "
                          "Prometheus exposition text")
     metrics.set_defaults(fn=metrics_view)
+
+    trace = sub.add_parser(
+        "trace", help="reconstruct distributed trace trees from "
+        "exported telemetry JSONL (one file per process on the path)"
+    )
+    trace.add_argument("paths", nargs="+", metavar="PATH",
+                       help="JSONL exports (client, primary, witness, "
+                       "...); spans sharing a trace id are stitched")
+    trace.add_argument("--trace-id", default=None,
+                       help="render only this trace id")
+    trace.add_argument("--list", action="store_true", dest="list_traces",
+                       help="list trace ids instead of rendering trees")
+    trace.add_argument("--expect", default=None, metavar="A,B,C",
+                       help="comma-separated stage-name substrings; "
+                       "exit 1 unless one complete tree contains all")
+    trace.set_defaults(fn=trace_view)
     return parser
 
 

@@ -155,6 +155,10 @@ class RecoverySupervisor:
         self.system = system
         self.backup = backup
         self.config = config if config is not None else SupervisorConfig()
+        #: Optional distributed-trace context: when a serving crash with
+        #: a live request trace triggers the ladder, the watchdog sets
+        #: this so recovery attempts appear in the request's trace tree.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # entry point
@@ -185,8 +189,12 @@ class RecoverySupervisor:
             # One span per recovery attempt: tagged with the phase, the
             # fault points that fired during the attempt, and the
             # outcome/escalation the supervisor chose.
+            trace_tags = (
+                self.trace.child().tags() if self.trace is not None else {}
+            )
             with obs.span(
-                "recovery.attempt", attempt=attempt, phase="recovery"
+                "recovery.attempt", attempt=attempt, phase="recovery",
+                **trace_tags
             ) as span:
                 try:
                     # Merge quarantine observations from *every* attempt,

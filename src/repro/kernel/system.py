@@ -171,7 +171,9 @@ class RecoverableSystem:
         self.obs = NULL_OBS
         self._checkpoint_marker = 0
         #: Escalation-ladder position (see :class:`SystemHealth`).
-        self.health = SystemHealth.HEALTHY
+        #: Writes go through the ``health`` property so every transition
+        #: is emitted (and lands in an attached flight recorder).
+        self._health = SystemHealth.HEALTHY
         #: Objects declared lost by the supervisor when entering
         #: DEGRADED; reads of these raise until an operator intervenes.
         self.lost_objects: Set[ObjectId] = set()
@@ -223,6 +225,24 @@ class RecoverableSystem:
         self._tracer = tracer
         self.obs.subscribe(tracer)
         return tracer
+
+    @property
+    def health(self) -> SystemHealth:
+        """Escalation-ladder position (see :class:`SystemHealth`)."""
+        return self._health
+
+    @health.setter
+    def health(self, value: SystemHealth) -> None:
+        previous = self._health
+        self._health = value
+        if value is not previous:
+            # NULL_OBS makes this free when no registry is attached;
+            # with one attached, the transition reaches every sink —
+            # including the flight recorder, which self-dumps on FAILED.
+            self.obs.emit(
+                "health.transition",
+                **{"from": previous.value, "to": value.value},
+            )
 
     # ------------------------------------------------------------------
     # normal operation

@@ -19,11 +19,21 @@ Exporters: :func:`render_prometheus` (text exposition format) and
 :func:`dump_jsonl` / :func:`load_jsonl` (span events + final snapshot,
 round-trippable), surfaced as ``python -m repro metrics`` and the
 ``--metrics-out`` flags on ``torture`` and the E10/E11 benchmarks.
+
+Distributed tracing rides on the same span machinery:
+:class:`TraceContext` (``repro.obs.tracing``) crosses process
+boundaries as a ``"trace"`` wire field, traced spans carry
+``trace``/``span``/``parent_span`` tags, and ``repro.obs.tracetree``
+(``python -m repro trace``) reconstructs the causal tree from the
+JSONL exports of every process involved.  :class:`FlightRecorder`
+(``repro.obs.flightrec``) taps the registry's event stream into a
+bounded ring persisted as ``flightrec.jsonl`` for crash post-mortems.
 """
 
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
+    MS_BUCKETS,
     Histogram,
     MetricsRegistry,
     NULL_OBS,
@@ -35,18 +45,24 @@ from repro.obs.export import (
     load_jsonl,
     render_prometheus,
 )
+from repro.obs.flightrec import FlightRecorder, load_flightrec
 from repro.obs.http import ObsHTTPServer
+from repro.obs.tracing import TraceContext
 
 __all__ = [
     "COUNT_BUCKETS",
     "LATENCY_BUCKETS",
+    "MS_BUCKETS",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
     "NullRegistry",
     "ObsHTTPServer",
     "Span",
+    "TraceContext",
     "dump_jsonl",
+    "load_flightrec",
     "load_jsonl",
     "render_prometheus",
 ]

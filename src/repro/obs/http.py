@@ -20,7 +20,10 @@ into the kernel:
   RECOVERING, draining, a replication witness not yet caught up to the
   primary's watermark).  Falls back to the health provider when no
   readiness provider was given, so bare deployments keep the old
-  one-endpoint behavior.
+  one-endpoint behavior;
+* ``GET /debug/flightrec`` — the flight recorder's in-memory event
+  ring as JSON (``?dump=1`` additionally forces an atomic rewrite of
+  ``flightrec.jsonl`` on disk).  404 when no recorder is wired.
 
 Scrapes are read-only and run on their own threads; the providers must
 therefore be cheap and safe to call concurrently with the serving loop
@@ -55,6 +58,10 @@ class _Handler(BaseHTTPRequestHandler):
             query = parse_qs(parts.query)
             want_ready = query.get("ready", ["0"])[-1] not in ("", "0")
             self._send_health(ready=want_ready)
+        elif parts.path == "/debug/flightrec":
+            query = parse_qs(parts.query)
+            dump = query.get("dump", ["0"])[-1] not in ("", "0")
+            self._send_flightrec(dump=dump)
         else:
             self._send(404, "text/plain; charset=utf-8", b"not found\n")
 
@@ -67,6 +74,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         body = render_prometheus(source).encode("utf-8")
         self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+
+    def _send_flightrec(self, dump: bool = False) -> None:
+        recorder = self.server.flightrec_provider()
+        if recorder is None:
+            self._send(
+                404, "text/plain; charset=utf-8", b"no flight recorder\n"
+            )
+            return
+        dumped = recorder.dump("endpoint") if dump else None
+        payload = {"events": recorder.events(), "dumped": dumped}
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self._send(200, "application/json", body)
 
     def _send_health(self, ready: bool = False) -> None:
         provider = self.server.health_provider
@@ -92,6 +111,7 @@ class _Server(ThreadingHTTPServer):
     metrics_provider: Callable[[], Optional[Any]]
     health_provider: _Provider
     ready_provider: Optional[_Provider]
+    flightrec_provider: Callable[[], Optional[Any]]
 
 
 class ObsHTTPServer:
@@ -112,10 +132,12 @@ class ObsHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         ready_provider: Optional[_Provider] = None,
+        flightrec_provider: Optional[Callable[[], Optional[Any]]] = None,
     ) -> None:
         self._metrics_provider = metrics_provider
         self._health_provider = health_provider
         self._ready_provider = ready_provider
+        self._flightrec_provider = flightrec_provider
         self._host = host
         self._requested_port = port
         self._httpd: Optional[_Server] = None
@@ -136,6 +158,11 @@ class ObsHTTPServer:
         httpd.metrics_provider = self._metrics_provider
         httpd.health_provider = self._health_provider
         httpd.ready_provider = self._ready_provider
+        httpd.flightrec_provider = (
+            self._flightrec_provider
+            if self._flightrec_provider is not None
+            else lambda: None
+        )
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

@@ -31,6 +31,7 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional
 __all__ = [
     "COUNT_BUCKETS",
     "LATENCY_BUCKETS",
+    "MS_BUCKETS",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
@@ -54,6 +55,19 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Default histogram boundaries for counts/sizes (cone sizes, batch
 #: sizes): powers of two up to 64k.
 COUNT_BUCKETS: Tuple[float, ...] = tuple(float(1 << n) for n in range(17))
+
+#: Histogram boundaries for millisecond-denominated stage latencies
+#: (the ``ack.*_ms`` request-stage histograms): 10 microseconds to
+#: 10 seconds, expressed in ms.  Spans whose name ends in ``_ms``
+#: observe into these buckets automatically.
+MS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 class Histogram:
@@ -123,6 +137,7 @@ class Histogram:
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
             "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
 
@@ -139,13 +154,16 @@ class Span:
     ``outcome="error"`` and ``error=repr(exc)`` tags before re-raising.
     """
 
-    __slots__ = ("registry", "name", "tags", "parent", "_start", "_closed")
+    __slots__ = ("registry", "name", "tags", "parent", "ts", "_start", "_closed")
 
     def __init__(self, registry: "MetricsRegistry", name: str, tags: Dict[str, Any]):
         self.registry = registry
         self.name = name
         self.tags = tags
         self.parent: Optional[str] = None
+        #: Wall-clock start time — lets cross-process trace events be
+        #: ordered even though durations come from the monotonic clock.
+        self.ts = 0.0
         self._start = 0.0
         self._closed = False
 
@@ -157,6 +175,7 @@ class Span:
         stack = self.registry._span_stack
         self.parent = stack[-1].name if stack else None
         stack.append(self)
+        self.ts = time.time()
         self._start = time.perf_counter()
         return self
 
@@ -233,12 +252,41 @@ class MetricsRegistry:
         return Span(self, name, tags)
 
     def _record_span(self, span: Span, elapsed: float) -> None:
-        self.observe(span.name, elapsed)
+        # Spans named ``*_ms`` are request-stage timers: their histogram
+        # is denominated in milliseconds over MS_BUCKETS, matching the
+        # exported metric name.  Everything else stays in seconds.
+        if span.name.endswith("_ms"):
+            self.observe(span.name, elapsed * 1000.0, MS_BUCKETS)
+        else:
+            self.observe(span.name, elapsed)
         self.spans.append({
             "name": span.name,
             "parent": span.parent,
             "seconds": elapsed,
+            "ts": span.ts,
             "tags": dict(span.tags),
+        })
+
+    def record_span(self, name: str, seconds: float,
+                    ts: Optional[float] = None,
+                    parent: Optional[str] = None, **tags: Any) -> None:
+        """Record an externally timed phase as a span event.
+
+        Stages whose start and end live on different threads (queue
+        wait) or whose timing is measured around a blocking call can't
+        use the context-manager form; this records the same event shape
+        — including trace tags — from a measured duration.
+        """
+        if name.endswith("_ms"):
+            self.observe(name, seconds * 1000.0, MS_BUCKETS)
+        else:
+            self.observe(name, seconds)
+        self.spans.append({
+            "name": name,
+            "parent": parent,
+            "seconds": seconds,
+            "ts": time.time() - seconds if ts is None else ts,
+            "tags": dict(tags),
         })
 
     def span_events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -343,6 +391,11 @@ class NullRegistry:
 
     def span(self, name: str, **tags: Any) -> _NullSpan:
         return self._NULL_SPAN
+
+    def record_span(self, name: str, seconds: float,
+                    ts: Optional[float] = None,
+                    parent: Optional[str] = None, **tags: Any) -> None:
+        pass
 
     def span_events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
         return []

@@ -1,0 +1,205 @@
+"""Reconstruct distributed trace trees from exported span JSONL.
+
+Each process in a traced request's path — client, primary, shard
+coordinator, witness — exports its span events through
+:func:`~repro.obs.export.dump_jsonl` independently.  This module
+stitches those files back together: spans sharing a ``trace`` tag are
+grouped, parent links are resolved through the ``span``/``parent_span``
+tags (which cross process boundaries, unlike the registry-local
+``parent`` name), and the result is rendered as an indented causal
+tree with per-stage latency attribution.
+
+``python -m repro trace`` is the CLI front-end; CI's trace-smoke step
+uses ``--expect`` to assert a live run produced at least one complete
+client→force→witness-ack tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.export import load_jsonl
+
+__all__ = [
+    "TraceNode",
+    "build_trace",
+    "collect_spans",
+    "list_traces",
+    "render_tree",
+]
+
+
+class TraceNode:
+    """One span in a reconstructed trace tree."""
+
+    __slots__ = ("name", "span_id", "parent_span", "seconds", "ts",
+                 "tags", "source", "children")
+
+    def __init__(self, event: Dict[str, Any], source: str):
+        tags = event.get("tags") or {}
+        self.name = str(event.get("name", "?"))
+        self.span_id = tags.get("span")
+        self.parent_span = tags.get("parent_span")
+        self.seconds = float(event.get("seconds", 0.0) or 0.0)
+        self.ts = float(event.get("ts", 0.0) or 0.0)
+        self.tags = {k: v for k, v in tags.items()
+                     if k not in ("trace", "span", "parent_span")}
+        self.source = source
+        self.children: List["TraceNode"] = []
+
+    @property
+    def ms(self) -> float:
+        return self.seconds * 1000.0
+
+    def self_ms(self) -> float:
+        """Duration not attributed to any child span (clamped at 0)."""
+        return max(0.0, self.ms - sum(child.ms for child in self.children))
+
+    def walk(self) -> List["TraceNode"]:
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+
+def collect_spans(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Load span events from JSONL exports, tagging each with its file.
+
+    Only spans carrying a ``trace`` tag participate in reconstruction;
+    untraced spans (internal phases) are dropped here.
+    """
+    collected: List[Dict[str, Any]] = []
+    for path in paths:
+        doc = load_jsonl(path)
+        for event in doc["spans"]:
+            tags = event.get("tags") or {}
+            if isinstance(tags, dict) and tags.get("trace"):
+                event = dict(event)
+                event["_source"] = path
+                collected.append(event)
+    return collected
+
+
+def list_traces(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Summaries of every trace id present, newest first."""
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for event in spans:
+        by_trace.setdefault(event["tags"]["trace"], []).append(event)
+    summaries = []
+    for trace_id, events in by_trace.items():
+        summaries.append({
+            "trace": trace_id,
+            "spans": len(events),
+            "ts": min(float(e.get("ts", 0.0) or 0.0) for e in events),
+            "stages": sorted({str(e.get("name")) for e in events}),
+        })
+    summaries.sort(key=lambda s: s["ts"], reverse=True)
+    return summaries
+
+
+def build_trace(spans: Sequence[Dict[str, Any]],
+                trace_id: str) -> List[TraceNode]:
+    """Build the causal tree(s) for one trace id.
+
+    Returns the list of roots: spans whose ``parent_span`` is absent or
+    refers to a span not present in any loaded file (a missing export
+    produces a forest rather than an error — partial evidence is still
+    evidence in a post-mortem).
+    """
+    nodes: List[TraceNode] = []
+    by_span: Dict[str, TraceNode] = {}
+    for event in spans:
+        if event["tags"].get("trace") != trace_id:
+            continue
+        node = TraceNode(event, event.get("_source", "?"))
+        nodes.append(node)
+        if node.span_id:
+            by_span[node.span_id] = node
+    roots: List[TraceNode] = []
+    for node in nodes:
+        parent = by_span.get(node.parent_span) if node.parent_span else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes:
+        node.children.sort(key=lambda child: child.ts)
+    roots.sort(key=lambda root: root.ts)
+    return roots
+
+
+def render_tree(roots: Sequence[TraceNode], trace_id: str) -> str:
+    """ASCII causal tree with per-stage latency attribution."""
+    lines = [f"trace {trace_id}"]
+    totals: Dict[str, float] = {}
+
+    def visit(node: TraceNode, depth: int) -> None:
+        pad = "  " * depth
+        detail = "".join(
+            f" {k}={v}" for k, v in sorted(node.tags.items())
+            if k not in ("outcome",)
+        )
+        outcome = node.tags.get("outcome")
+        flag = f" [{outcome}]" if outcome and outcome != "ok" else ""
+        lines.append(
+            f"{pad}{node.name}  {node.ms:.3f} ms"
+            f" (self {node.self_ms():.3f} ms){flag}{detail}"
+            f"  <{node.source}>"
+        )
+        totals[node.name] = totals.get(node.name, 0.0) + node.self_ms()
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 1)
+    total_ms = sum(root.ms for root in roots)
+    lines.append("")
+    lines.append("stage attribution (self time):")
+    for name, self_ms in sorted(totals.items(), key=lambda kv: -kv[1]):
+        share = (self_ms / total_ms * 100.0) if total_ms > 0 else 0.0
+        lines.append(f"  {name:<28} {self_ms:10.3f} ms  {share:5.1f}%")
+    lines.append(f"  {'total (root spans)':<28} {total_ms:10.3f} ms")
+    return "\n".join(lines)
+
+
+def trace_has_stages(roots: Sequence[TraceNode],
+                     stages: Sequence[str]) -> bool:
+    """True when the forest contains every expected stage name and is
+    rooted in a single span (a *complete* tree, per the CI bar)."""
+    if len(roots) != 1:
+        return False
+    names = {node.name for node in roots[0].walk()}
+    return all(any(stage in name for name in names) for stage in stages)
+
+
+def main(paths: Sequence[str], trace_id: Optional[str] = None,
+         list_only: bool = False,
+         expect: Optional[Sequence[str]] = None) -> int:
+    """CLI body for ``python -m repro trace``.  Returns an exit code."""
+    spans = collect_spans(paths)
+    if not spans:
+        print("no traced spans found in the given files")
+        return 1
+    summaries = list_traces(spans)
+    if list_only:
+        for summary in summaries:
+            print(f"{summary['trace']}  {summary['spans']:4d} spans  "
+                  f"stages: {', '.join(summary['stages'])}")
+        return 0
+    wanted = [trace_id] if trace_id else [s["trace"] for s in summaries]
+    matched = False
+    for tid in wanted:
+        roots = build_trace(spans, tid)
+        if not roots:
+            continue
+        print(render_tree(roots, tid))
+        print()
+        if expect and trace_has_stages(roots, expect):
+            matched = True
+    if expect:
+        if matched:
+            print(f"OK: found a complete trace containing: {', '.join(expect)}")
+            return 0
+        print(f"FAIL: no complete trace contains all of: {', '.join(expect)}")
+        return 1
+    return 0

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.common.identifiers import NULL_SI, StateId
+from repro.obs.tracing import TraceContext
 from repro.replica import wire
 from repro.replica.epoch import EpochStore
 from repro.serve import protocol
@@ -210,9 +211,12 @@ class ReplicationSender:
                 if self._protection is not None:
                     log.remove_protection(self._protection)
                 self._protection = log.add_protection(watermark + 1)
+            unacked = max(0, self._shipped_through - self._watermark)
             self._cond.notify_all()
-        if self.daemon.system.obs.enabled:
-            self.daemon.system.obs.gauge("repl.witness_watermark", watermark)
+        obs = self.daemon.system.obs
+        if obs.enabled:
+            obs.gauge("repl.witness_watermark", watermark)
+            obs.gauge("repl.unacked_records", unacked)
 
     def detach(self, conn: "_Connection") -> None:
         """A registered witness connection died (reader loop exited)."""
@@ -227,14 +231,19 @@ class ReplicationSender:
         if self._conn is not None:
             self._conn = None
         self._cond.notify_all()
-        if self.daemon.system.obs.enabled:
-            self.daemon.system.obs.count("repl.fenced")
+        obs = self.daemon.system.obs
+        if obs.enabled:
+            obs.count("repl.fenced")
+        obs.emit("epoch.fenced", old=self.epoch, new=peer_epoch)
 
     # ------------------------------------------------------------------
     # shipping (apply thread)
     # ------------------------------------------------------------------
     def replicate(
-        self, lsi: StateId, deadline: Optional[float] = None
+        self,
+        lsi: StateId,
+        deadline: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Block until the witness durably holds ``lsi``; raise otherwise.
 
@@ -242,12 +251,16 @@ class ReplicationSender:
         client ack.  Raises :class:`FencedError` if this primary has
         been fenced, :class:`ServerUnavailableError` (retryable) when
         no witness is attached or the receipt does not arrive in time.
+
+        ``trace`` is the acking request's trace context: the batch that
+        ships this lSI carries it on the wire, so the witness's adopt
+        and durable-ack spans join the request's tree.
         """
         timeout_at = time.monotonic() + self.config.ack_timeout_s
         if deadline is not None:
             timeout_at = min(timeout_at, deadline)
         with self._cond:
-            self._ship_locked()
+            self._ship_locked(trace=trace)
             while True:
                 if self.fenced:
                     raise FencedError(
@@ -271,14 +284,18 @@ class ReplicationSender:
                         retry_after_ms=self.config.retry_after_ms,
                     )
                 self._cond.wait(min(remaining, 0.05))
-                self._ship_locked()
+                self._ship_locked(trace=trace)
 
     def ship_checkpoint_hint(self) -> None:
         """Push current stable records with the checkpoint flag set."""
         with self._cond:
             self._ship_locked(checkpoint=True)
 
-    def _ship_locked(self, checkpoint: bool = False) -> None:
+    def _ship_locked(
+        self,
+        checkpoint: bool = False,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         """Push stable records past ``_shipped_through`` (lock held)."""
         conn = self._conn
         if conn is None or not conn.alive or self.fenced:
@@ -292,19 +309,33 @@ class ReplicationSender:
             for record in log.stable_records(self._shipped_through + 1)
             if wire.shippable(record)
         ]
-        limit = max(1, self.config.max_batch_records)
-        while len(records) > limit:
-            chunk, records = records[:limit], records[limit:]
+        obs = self.daemon.system.obs
+        ship_ctx = trace.child() if trace is not None else None
+        wire_trace = ship_ctx.to_wire() if ship_ctx is not None else None
+        with obs.span("repl.ship_ms",
+                      **(ship_ctx.tags() if ship_ctx is not None else {})):
+            limit = max(1, self.config.max_batch_records)
+            while len(records) > limit:
+                chunk, records = records[:limit], records[limit:]
+                conn.send(
+                    wire.batch_frame(
+                        self.epoch, chunk[-1].lsi, chunk, trace=wire_trace
+                    )
+                )
             conn.send(
-                wire.batch_frame(self.epoch, chunk[-1].lsi, chunk)
+                wire.batch_frame(
+                    self.epoch, through, records, checkpoint,
+                    trace=wire_trace,
+                )
             )
-        conn.send(
-            wire.batch_frame(self.epoch, through, records, checkpoint)
-        )
         self._shipped_through = through
-        if self.daemon.system.obs.enabled:
-            self.daemon.system.obs.count("repl.batches")
-            self.daemon.system.obs.gauge("repl.shipped_through", through)
+        if obs.enabled:
+            obs.count("repl.batches")
+            obs.gauge("repl.shipped_through", through)
+            obs.gauge(
+                "repl.unacked_records",
+                max(0, self._shipped_through - self._watermark),
+            )
 
     # ------------------------------------------------------------------
     # teardown

@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import base64
 import pickle
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.serve.errors import ProtocolError
 from repro.wal.records import (
@@ -113,15 +113,25 @@ def batch_frame(
     through: int,
     records: Sequence[LogRecord],
     checkpoint: bool = False,
+    trace: Optional[Dict[str, str]] = None,
 ) -> Dict[str, Any]:
-    """Build one ``repl_batch`` push frame."""
-    return {
+    """Build one ``repl_batch`` push frame.
+
+    ``trace`` is the optional distributed-trace wire field of the
+    client write whose ack is gated on this batch: the witness parses
+    it tolerantly (see :func:`repro.serve.protocol.request_trace`) and
+    parents its adopt/ack spans on it.
+    """
+    frame: Dict[str, Any] = {
         "kind": KIND_BATCH,
         "epoch": int(epoch),
         "through": int(through),
         "checkpoint": bool(checkpoint),
         "records": encode_records(records),
     }
+    if trace is not None:
+        frame["trace"] = trace
+    return frame
 
 
 def subscribe_frame(watermark: int, epoch: int) -> Dict[str, Any]:
@@ -134,10 +144,21 @@ def subscribe_frame(watermark: int, epoch: int) -> Dict[str, Any]:
     }
 
 
-def ack_frame(watermark: int, epoch: int) -> Dict[str, Any]:
-    """Build one ``repl_ack`` durable-receipt frame."""
-    return {
+def ack_frame(
+    watermark: int,
+    epoch: int,
+    trace: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """Build one ``repl_ack`` durable-receipt frame.
+
+    ``trace`` echoes the acknowledged batch's trace field back to the
+    primary, closing the shipped span's loop on the wire.
+    """
+    frame: Dict[str, Any] = {
         "kind": KIND_ACK,
         "watermark": int(watermark),
         "epoch": int(epoch),
     }
+    if trace is not None:
+        frame["trace"] = trace
+    return frame

@@ -330,6 +330,11 @@ class WitnessDaemon(ServeDaemon):
         except (TypeError, ValueError):
             raise protocol.ProtocolError("bad repl_batch frame")
         run_cycle = False
+        obs = self.system.obs
+        # The batch may carry the trace of the client write whose ack
+        # gates on it; tolerant parsing (an old primary sends none).
+        batch_trace = protocol.request_trace(frame)
+        adopt_ctx = batch_trace.child() if batch_trace is not None else None
         with self._witness_lock:
             if self._promoted.is_set() or epoch < self.epoch:
                 # The pusher's epoch is history.  The ack's epoch field
@@ -341,8 +346,13 @@ class WitnessDaemon(ServeDaemon):
                 return False
             if epoch > self.epoch:
                 self._set_epoch_locked(epoch)
-            records = wire.decode_records(frame.get("records") or [])
-            self.system.log.adopt_records(records)
+            # The durable-adopt stage: decode + adopt_records (which
+            # forces) is what the witness's receipt promise costs.
+            with obs.span("witness.adopt_ms",
+                          **(adopt_ctx.tags() if adopt_ctx is not None
+                             else {})):
+                records = wire.decode_records(frame.get("records") or [])
+                self.system.log.adopt_records(records)
             self._adopted_through = max(
                 self._adopted_through,
                 through,
@@ -356,21 +366,43 @@ class WitnessDaemon(ServeDaemon):
             )
         # The receipt ack goes out *after* adopt_records forced the
         # batch (durable receipt), *before* the redo cycle (redo is
-        # catch-up work, not part of the durability contract).
-        self._send_to_primary(
-            sock, wire.ack_frame(self._adopted_through, self.epoch)
-        )
-        if self.system.obs.enabled:
-            self.system.obs.count("repl.witness_batches")
-            self.system.obs.gauge(
+        # catch-up work, not part of the durability contract).  It
+        # echoes the batch's trace back at the primary.
+        ack_ctx = adopt_ctx.child() if adopt_ctx is not None else None
+        with obs.span("witness.ack_ms",
+                      **(ack_ctx.tags() if ack_ctx is not None else {})):
+            self._send_to_primary(
+                sock,
+                wire.ack_frame(
+                    self._adopted_through,
+                    self.epoch,
+                    trace=(batch_trace.to_wire()
+                           if batch_trace is not None else None),
+                ),
+            )
+        if obs.enabled:
+            obs.count("repl.witness_batches")
+            obs.gauge(
                 "repl.witness_adopted_through", self._adopted_through
             )
+            # Live lag gauges, updated per batch (not just per redo
+            # cycle) so /metrics always reflects the current windows.
+            obs.gauge("repl.lag_records", self.lag_records)
+            obs.gauge("repl.redo_lag_records", self.redo_lag_records)
         if run_cycle:
             self._redo_cycle()
         return True
 
     def _set_epoch_locked(self, epoch: int) -> None:
+        previous = self.epoch
         self.epoch = self.epochs.save(epoch)
+        if self.epoch != previous:
+            self.system.obs.emit(
+                "epoch.change",
+                old=previous,
+                new=self.epoch,
+                role=self.role,
+            )
 
     # ------------------------------------------------------------------
     # the redo/materialize cycle (the paper's recovery path, on a timer)
@@ -451,8 +483,12 @@ class WitnessDaemon(ServeDaemon):
         # promotion watermark.
         self._stop_subscriber.set()
         with self._witness_lock:
+            old_epoch = self.epoch
             new_epoch = self.epochs.save(self.epoch + 1)
             self.epoch = new_epoch
+        self.system.obs.emit(
+            "epoch.promote", old=old_epoch, new=new_epoch
+        )
         # Best-effort in-band fence: an ack carrying the new epoch makes
         # a still-live primary refuse every further write with FENCED.
         # (If the primary is dead, its loss of the witness connection
@@ -499,6 +535,12 @@ class WitnessDaemon(ServeDaemon):
             self.system.log.force()
             self.role = "primary"
             self._promoted.set()
+        self.system.obs.emit(
+            "epoch.promoted",
+            epoch=new_epoch,
+            watermark=watermark,
+            health=self.system.health.value,
+        )
         if self.system.obs.enabled:
             self.system.obs.count("repl.promotions")
         return protocol.ok_response(

@@ -65,6 +65,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import DegradedModeError
 from repro.common.retry import DEFAULT_MAX_DELAY, backoff_delay
+from repro.obs.metrics import NULL_OBS
+from repro.obs.tracing import TraceContext
 from repro.serve import protocol
 from repro.serve.errors import (
     BackpressureError,
@@ -122,9 +124,17 @@ class DaemonClient:
         deadline_ms: Optional[int] = None,
         connect_timeout: float = 5.0,
         failover: Optional[List[Tuple[str, int]]] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self.host = host
         self.port = port
+        #: Client-side observability.  With a real registry attached the
+        #: client mints a trace per request, sends it on the wire, and
+        #: records the root ``client.<kind>`` span; with the default
+        #: NULL_OBS nothing is minted and requests carry no trace field.
+        self.obs = obs if obs is not None else NULL_OBS
+        #: Trace id of the most recent traced request (None untraced).
+        self.last_trace: Optional[str] = None
         #: Ordered connect targets: the primary address first, then any
         #: failover addresses.  ``host``/``port`` always reflect the
         #: *current* target.
@@ -198,12 +208,26 @@ class DaemonClient:
         :class:`DeadlineExceededError` when the overall budget runs out
         while the condition was still retryable.
         """
+        if not self.obs.enabled:
+            return self._request(kind, None, **fields)
+        # Root of the distributed trace: the span covers the full retry
+        # loop, so its duration is the latency the caller experienced.
+        trace = TraceContext.mint()
+        self.last_trace = trace.trace_id
+        with self.obs.span("client." + kind, **trace.tags()):
+            return self._request(kind, trace, **fields)
+
+    def _request(
+        self, kind: str, trace: Optional[TraceContext], **fields: Any
+    ) -> Dict[str, Any]:
         policy = self.policy
         start = policy.clock()
         self._next_id += 1
         message: Dict[str, Any] = {"id": self._next_id, "kind": kind}
         if self.deadline_ms is not None and "deadline_ms" not in fields:
             message["deadline_ms"] = self.deadline_ms
+        if trace is not None:
+            message[protocol.TRACE_FIELD] = trace.to_wire()
         message.update(fields)
         obj = fields.get("obj") if isinstance(fields.get("obj"), str) else None
         last_error: Optional[Exception] = None

@@ -27,6 +27,14 @@ carries the server's current :class:`~repro.kernel.system.SystemHealth`
 value so clients observe health transitions without polling
 ``/healthz``.
 
+Requests may carry an optional ``"trace"`` field —
+``{"id": "<trace id>", "span": "<parent span id>"}`` — minted by an
+instrumented :class:`~repro.serve.client.DaemonClient`.  The field is
+advisory: :func:`request_trace` parses it tolerantly (absent or
+malformed from an old client → ``None``) and the server threads it
+through its stage spans so ``python -m repro trace`` can reconstruct
+the request's causal tree across processes.
+
 The framing is symmetric (client and server use the same
 :func:`send_frame` / :func:`recv_frame`), and deliberately boring: the
 interesting machinery — admission, deadlines, the escalation ladder —
@@ -41,6 +49,7 @@ import socket
 import struct
 from typing import Any, Dict, Optional
 
+from repro.obs.tracing import TRACE_FIELD, TraceContext
 from repro.serve.errors import ProtocolError
 
 #: Frame header: payload length, little-endian u32.
@@ -162,6 +171,18 @@ def _recv_exact(
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# trace context
+# ----------------------------------------------------------------------
+def request_trace(request: Dict[str, Any]) -> Optional[TraceContext]:
+    """The request's trace context, or ``None``.
+
+    Never raises: old clients send no ``trace`` field and hand-rolled
+    ones may send garbage; both must serve normally, just untraced.
+    """
+    return TraceContext.from_wire(request)
 
 
 # ----------------------------------------------------------------------

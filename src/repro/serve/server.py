@@ -61,8 +61,10 @@ from repro.common.errors import (
 )
 from repro.core.operation import Operation, OpKind, delete_object
 from repro.kernel.system import RecoverableSystem, SystemHealth
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.http import ObsHTTPServer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceContext
 from repro.serve import protocol
 from repro.serve.errors import FencedError, ServerUnavailableError
 from repro.serve.watchdog import ServingWatchdog, WatchdogConfig
@@ -97,6 +99,12 @@ class DaemonConfig:
     checkpoint_on_shutdown: bool = True
     #: Watchdog/supervisor policy (ladder budgets, restart cap).
     watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
+    #: Flight-recorder persistence path (``flightrec.jsonl`` under the
+    #: data dir when run via the CLI; None = in-memory ring only, still
+    #: served by ``/debug/flightrec``).
+    flightrec_path: Optional[str] = None
+    #: Flight-recorder ring capacity (recent events kept).
+    flightrec_capacity: int = 2048
 
 
 @dataclass
@@ -107,6 +115,8 @@ class _Work:
     conn: "_Connection"
     deadline: float
     enqueued: float
+    #: Distributed-trace context minted by the client (None untraced).
+    trace: Optional[TraceContext] = None
 
 
 class _Connection:
@@ -154,6 +164,14 @@ class ServeDaemon:
         self.config = config if config is not None else DaemonConfig()
         if not system.obs.enabled:
             system.attach_metrics(MetricsRegistry())
+        #: Crash flight recorder: taps the registry's event stream
+        #: (health transitions, watchdog restarts, epoch changes) into
+        #: a bounded ring persisted at ``flightrec_path``.
+        self.flightrec = FlightRecorder(
+            self.config.flightrec_path,
+            capacity=self.config.flightrec_capacity,
+        )
+        system.obs.subscribe(self.flightrec)
         self.watchdog = ServingWatchdog(
             system, backup=backup, config=self.config.watchdog
         )
@@ -185,6 +203,9 @@ class ServeDaemon:
         #: Deadline of the request the apply thread is executing (the
         #: replication wait honors it; single apply thread, no races).
         self._deadline_in_flight: Optional[float] = None
+        #: Trace context of the request the apply thread is executing
+        #: (same single-thread pattern as the deadline).
+        self._trace_in_flight: Optional[TraceContext] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -211,6 +232,10 @@ class ServeDaemon:
         if self._started:
             raise RuntimeError("daemon already started")
         self._started = True
+        self.flightrec.record(
+            "daemon.start",
+            {"role": self.role, "health": self.system.health.value},
+        )
         self.watchdog.supervised_startup()
         if self.config.http_port is not None:
             self._http = ObsHTTPServer(
@@ -219,6 +244,7 @@ class ServeDaemon:
                 host=self.config.host,
                 port=self.config.http_port,
                 ready_provider=self._ready_payload,
+                flightrec_provider=lambda: self.flightrec,
             )
             self._http.start()
         listener = socket.create_server(
@@ -226,6 +252,14 @@ class ServeDaemon:
         )
         listener.settimeout(0.1)
         self._listener = listener
+        self.flightrec.record(
+            "daemon.serving",
+            {
+                "role": self.role,
+                "health": self.system.health.value,
+                "port": listener.getsockname()[1],
+            },
+        )
         self._apply_thread = threading.Thread(
             target=self._apply_loop, name="repro-serve-apply", daemon=True
         )
@@ -282,6 +316,12 @@ class ServeDaemon:
         self._close_everything()
         for thread in list(self._readers):
             thread.join(timeout=5.0)
+        self.flightrec.record(
+            "daemon.stop",
+            {"graceful": graceful, "status": status,
+             "health": self.system.health.value},
+        )
+        self.flightrec.close("sigterm" if graceful else "stop")
         return status
 
     def kill(self) -> None:
@@ -459,6 +499,7 @@ class ServeDaemon:
             conn=conn,
             deadline=now + budget_ms / 1000.0,
             enqueued=now,
+            trace=protocol.request_trace(request) if obs.enabled else None,
         )
         try:
             self._queue.put_nowait(work)
@@ -550,7 +591,14 @@ class ServeDaemon:
                 )
             )
             return
+        if obs.enabled:
+            tags = work.trace.child().tags() if work.trace else {}
+            obs.record_span(
+                "ack.queue_ms", now - work.enqueued, kind=request.get("kind"),
+                **tags
+            )
         self._deadline_in_flight = work.deadline
+        self._trace_in_flight = work.trace
         try:
             response = self._dispatch(request, request_id)
         except FencedError as exc:
@@ -588,7 +636,7 @@ class ServeDaemon:
                     self.config.retry_after_ms,
                 )
             )
-            self.watchdog.handle_serving_crash(exc)
+            self.watchdog.handle_serving_crash(exc, trace=work.trace)
             return
         except ReproError as exc:
             response = protocol.error_response(
@@ -685,17 +733,32 @@ class ServeDaemon:
         client gets a retryable ``UNAVAILABLE`` and no ack.
         """
         system = self.system
+        obs = system.obs
+        trace = self._trace_in_flight
         if self.replication is not None and self.replication.fenced:
             raise FencedError(
                 f"primary epoch {self.replication.epoch} is fenced; a "
                 "promoted witness is serving"
             )
-        writes = system.execute(op)
-        system.log.force_through(op.lsi)
+        # The ack pipeline, one ``ack.*_ms`` stage span per phase.  Each
+        # stage is a direct child of the client's root span; the
+        # replication wait additionally hands its context to the sender
+        # so the shipped batch (and the witness's spans) nest under it.
+        with obs.span("ack.apply_ms",
+                      **(trace.child().tags() if trace else {})):
+            writes = system.execute(op)
+        with obs.span("ack.force_ms",
+                      **(trace.child().tags() if trace else {})):
+            system.log.force_through(op.lsi)
         if self.replication is not None:
-            self.replication.replicate(op.lsi, self._deadline_in_flight)
-        if system.obs.enabled:
-            system.obs.count("serve.acked_writes")
+            wait_ctx = trace.child() if trace else None
+            with obs.span("ack.repl_wait_ms",
+                          **(wait_ctx.tags() if wait_ctx else {})):
+                self.replication.replicate(
+                    op.lsi, self._deadline_in_flight, trace=wait_ctx
+                )
+        if obs.enabled:
+            obs.count("serve.acked_writes")
         fields: Dict[str, Any] = {"lsi": op.lsi}
         epoch = self.current_epoch()
         if epoch is not None:

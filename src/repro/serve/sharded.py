@@ -62,8 +62,10 @@ from repro.common.errors import (
 )
 from repro.core.operation import Operation, OpKind, delete_object
 from repro.kernel.system import SystemHealth
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.http import ObsHTTPServer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceContext
 from repro.serve import protocol
 from repro.serve.server import WRITE_KINDS, DaemonConfig, _Connection
 from repro.serve.watchdog import ServingWatchdog
@@ -90,6 +92,24 @@ class ShardedDaemonConfig(DaemonConfig):
     allow_chaos: bool = False
 
 
+class _ShardEventSink:
+    """Tags one shard's events with its index, then records them.
+
+    Every shard kernel's registry gets one of these so health
+    transitions, watchdog restarts and fault-point events from all N
+    recovery domains land in the daemon's single flight recorder with
+    the shard attributed.
+    """
+
+    def __init__(self, recorder: FlightRecorder, index: int) -> None:
+        self._recorder = recorder
+        self._index = index
+
+    def emit(self, kind: str, **details: Any) -> None:
+        details.setdefault("shard", self._index)
+        self._recorder.emit(kind, **details)
+
+
 class _CrossJob:
     """One cross-shard request's rendezvous state."""
 
@@ -99,11 +119,13 @@ class _CrossJob:
         conn: _Connection,
         deadline: float,
         participants: Tuple[int, ...],
+        trace: Optional[TraceContext] = None,
     ) -> None:
         self.request = request
         self.conn = conn
         self.deadline = deadline
         self.participants = participants
+        self.trace = trace
         self.coordinator = participants[0]
         self._lock = threading.Lock()
         self._arrived: set = set()
@@ -129,6 +151,7 @@ class _ShardWork:
     deadline: float
     enqueued: float
     cross: Optional[_CrossJob] = None
+    trace: Optional[TraceContext] = None
 
 
 class _Shard:
@@ -174,12 +197,21 @@ class ShardedServeDaemon:
         self.config.shards = sharded.shards
         #: Daemon-level registry: serve.* and serve.shard.<k>.* series.
         self.obs = MetricsRegistry()
+        #: One flight recorder for the whole daemon; shard kernels feed
+        #: it through shard-tagging sinks so a dump interleaves all N
+        #: domains' state transitions on one timeline.
+        self.flightrec = FlightRecorder(
+            self.config.flightrec_path,
+            capacity=self.config.flightrec_capacity,
+        )
+        self.obs.subscribe(self.flightrec)
         self._shards: List[_Shard] = []
         for index, system in enumerate(sharded.systems):
             if not system.obs.enabled:
                 # One registry per kernel: the io/engine collector
                 # prefixes collide on a shared registry.
                 system.attach_metrics(MetricsRegistry())
+            system.obs.subscribe(_ShardEventSink(self.flightrec, index))
             backup = None
             if backups is not None and index < len(backups):
                 backup = backups[index]
@@ -241,6 +273,7 @@ class ShardedServeDaemon:
         if self._started:
             raise RuntimeError("daemon already started")
         self._started = True
+        self.flightrec.record("daemon.start", {"shards": len(self._shards)})
         for shard in self._shards:
             shard.watchdog.supervised_startup()
         if self.config.http_port is not None:
@@ -250,6 +283,7 @@ class ShardedServeDaemon:
                 host=self.config.host,
                 port=self.config.http_port,
                 ready_provider=self._ready_payload,
+                flightrec_provider=lambda: self.flightrec,
             )
             self._http.start()
         listener = socket.create_server(
@@ -257,6 +291,13 @@ class ShardedServeDaemon:
         )
         listener.settimeout(0.1)
         self._listener = listener
+        self.flightrec.record(
+            "daemon.serving",
+            {
+                "port": listener.getsockname()[1],
+                "health": self.aggregate_health().value,
+            },
+        )
         for shard in self._shards:
             self._start_worker(shard)
         self._accept_thread = threading.Thread(
@@ -318,6 +359,15 @@ class ShardedServeDaemon:
         self._close_everything()
         for thread in list(self._readers):
             thread.join(timeout=5.0)
+        self.flightrec.record(
+            "daemon.stop",
+            {
+                "graceful": graceful,
+                "status": status,
+                "health": self.aggregate_health().value,
+            },
+        )
+        self.flightrec.close("sigterm" if graceful else "stop")
         return status
 
     def kill(self) -> None:
@@ -399,6 +449,7 @@ class ShardedServeDaemon:
             if not shard.system._crashed:
                 shard.system.crash()
             self.obs.count(f"serve.shard.{index}.kills")
+            self.obs.emit("shard.kill", shard=index)
             self._flush_queue(
                 shard, "UNAVAILABLE", f"shard {index} worker was killed"
             )
@@ -413,6 +464,11 @@ class ShardedServeDaemon:
             self._start_worker(shard)
             shard.killed = False
             self.obs.count(f"serve.shard.{index}.revives")
+            self.obs.emit(
+                "shard.revive",
+                shard=index,
+                health=shard.system.health.value,
+            )
 
     # ------------------------------------------------------------------
     # accept + read side
@@ -544,11 +600,16 @@ class ShardedServeDaemon:
                     health=health.value,
                 )
                 return
+        trace = protocol.request_trace(request)
         if len(shards) == 1:
             index = shards[0]
             shard = self._shards[index]
             work = _ShardWork(
-                request=request, conn=conn, deadline=deadline, enqueued=now
+                request=request,
+                conn=conn,
+                deadline=deadline,
+                enqueued=now,
+                trace=trace,
             )
             try:
                 shard.queue.put_nowait(work)
@@ -566,7 +627,7 @@ class ShardedServeDaemon:
                 f"serve.shard.{index}.queue_depth", shard.queue.qsize()
             )
             return
-        self._admit_cross(conn, request, shards, deadline, now, reject)
+        self._admit_cross(conn, request, shards, deadline, now, reject, trace)
 
     def _admit_cross(
         self,
@@ -576,6 +637,7 @@ class ShardedServeDaemon:
         deadline: float,
         now: float,
         reject,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Enqueue one rendezvous token per participant, atomically.
 
@@ -583,7 +645,7 @@ class ShardedServeDaemon:
         the same relative order; a full participant queue cancels the
         whole job (tokens already enqueued become no-ops).
         """
-        job = _CrossJob(request, conn, deadline, shards)
+        job = _CrossJob(request, conn, deadline, shards, trace=trace)
         with self._cross_lock:
             for index in shards:
                 shard = self._shards[index]
@@ -593,6 +655,7 @@ class ShardedServeDaemon:
                     deadline=deadline,
                     enqueued=now,
                     cross=job,
+                    trace=trace,
                 )
                 try:
                     shard.queue.put_nowait(work)
@@ -807,8 +870,21 @@ class ShardedServeDaemon:
                 )
             )
             return
+        # Queue wait attributed before the kernel touches the request;
+        # _ms spans feed the ms-bucket histogram and, when the request
+        # carried a trace, join its tree as a child span.
+        queue_tags = (
+            work.trace.child().tags() if work.trace is not None else {}
+        )
+        self.obs.record_span(
+            "ack.queue_ms",
+            now - work.enqueued,
+            kind=request.get("kind"),
+            shard=shard.index,
+            **queue_tags,
+        )
         try:
-            response = self._dispatch(shard, request, request_id)
+            response = self._dispatch(shard, request, request_id, work.trace)
         except DegradedModeError as exc:
             response = protocol.error_response(
                 request_id,
@@ -830,7 +906,7 @@ class ShardedServeDaemon:
                 )
             )
             self.obs.count(f"serve.shard.{shard.index}.crashes")
-            shard.watchdog.handle_serving_crash(exc)
+            shard.watchdog.handle_serving_crash(exc, trace=work.trace)
             return
         except ReproError as exc:
             response = protocol.error_response(
@@ -854,7 +930,11 @@ class ShardedServeDaemon:
         work.conn.send(response)
 
     def _dispatch(
-        self, shard: _Shard, request: Dict[str, Any], request_id: Any
+        self,
+        shard: _Shard,
+        request: Dict[str, Any],
+        request_id: Any,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         kind = request["kind"]
         system = shard.system
@@ -878,15 +958,15 @@ class ShardedServeDaemon:
                 writes=frozenset({obj}),
                 payload={obj: value},
             )
-            return self._execute_durably(shard, op, request_id)
+            return self._execute_durably(shard, op, request_id, trace=trace)
         if kind == "delete":
             return self._execute_durably(
-                shard, delete_object(request["obj"]), request_id
+                shard, delete_object(request["obj"]), request_id, trace=trace
             )
         if kind == "apply":
             op = self._apply_operation(request)
             return self._execute_durably(
-                shard, op, request_id, include_writes=True
+                shard, op, request_id, include_writes=True, trace=trace
             )
         raise protocol.ProtocolError(f"unhandled request kind {kind!r}")
 
@@ -913,10 +993,21 @@ class ShardedServeDaemon:
         op: Operation,
         request_id: Any,
         include_writes: bool = False,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         system = shard.system
-        writes = system.execute(op)
-        system.log.force_through(op.lsi)
+        with self.obs.span(
+            "ack.apply_ms",
+            shard=shard.index,
+            **(trace.child().tags() if trace is not None else {}),
+        ):
+            writes = system.execute(op)
+        with self.obs.span(
+            "ack.force_ms",
+            shard=shard.index,
+            **(trace.child().tags() if trace is not None else {}),
+        ):
+            system.log.force_through(op.lsi)
         self.obs.count("serve.acked_writes")
         self.obs.count(f"serve.shard.{shard.index}.acked_writes")
         fields: Dict[str, Any] = {"lsi": op.lsi, "shard": shard.index}
@@ -969,11 +1060,33 @@ class ShardedServeDaemon:
                     )
                     return
             # All participants parked: this thread owns every kernel.
+            # Rendezvous latency (time for every participant queue to
+            # reach this job) is the sharding tax on the write.
+            self.obs.record_span(
+                "ack.rendezvous_ms",
+                time.monotonic() - start,
+                shards=len(job.participants),
+                **(
+                    job.trace.child().tags()
+                    if job.trace is not None
+                    else {}
+                ),
+            )
             try:
                 op = self._apply_operation(job.request)
-                writes = self.sharded.execute_cross(
-                    op, set(job.participants)
-                )
+                with self.obs.span(
+                    "ack.apply_ms",
+                    cross=True,
+                    shards=len(job.participants),
+                    **(
+                        job.trace.child().tags()
+                        if job.trace is not None
+                        else {}
+                    ),
+                ):
+                    writes = self.sharded.execute_cross(
+                        op, set(job.participants)
+                    )
             except CrossShardError as exc:
                 job.conn.send(
                     protocol.error_response(
@@ -1017,7 +1130,9 @@ class ShardedServeDaemon:
                     participant = self._shards[index]
                     if participant.killed:
                         continue
-                    participant.watchdog.handle_serving_crash(exc)
+                    participant.watchdog.handle_serving_crash(
+                        exc, trace=job.trace
+                    )
                 return
             except ReproError as exc:
                 job.conn.send(

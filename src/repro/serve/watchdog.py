@@ -85,7 +85,9 @@ class ServingWatchdog:
     # ------------------------------------------------------------------
     # mid-serve crash
     # ------------------------------------------------------------------
-    def handle_serving_crash(self, cause: BaseException) -> FailureReport:
+    def handle_serving_crash(
+        self, cause: BaseException, trace=None
+    ) -> FailureReport:
         """Answer a crash that surfaced while serving traffic.
 
         Volatile state is discarded (operations whose records never
@@ -94,11 +96,21 @@ class ServingWatchdog:
         runs to a terminal state.  Past the restart budget the system
         is marked FAILED instead: a device this unreliable should page
         an operator, not flap forever.
+
+        ``trace`` is the crashed request's distributed-trace context,
+        when it carried one: the ladder's per-attempt spans join that
+        trace, so the tree shows recovery as a consequence of the
+        request that tripped it.
         """
         system = self.system
         obs = system.obs
         if obs.enabled:
             obs.count("serve.crashes")
+        obs.emit(
+            "watchdog.crash",
+            cause=type(cause).__name__,
+            restarts=self.restarts,
+        )
         cfg = self.config
         if (
             cfg.max_restarts is not None
@@ -118,17 +130,20 @@ class ServingWatchdog:
         self.restarts += 1
         if obs.enabled:
             obs.count("serve.restarts")
+        obs.emit("watchdog.restart", restarts=self.restarts)
         if not system._crashed:
             system.crash()
-        return self._run_ladder()
+        return self._run_ladder(trace=trace)
 
     # ------------------------------------------------------------------
     # shared
     # ------------------------------------------------------------------
-    def _run_ladder(self) -> FailureReport:
-        report = RecoverySupervisor(
+    def _run_ladder(self, trace=None) -> FailureReport:
+        supervisor = RecoverySupervisor(
             self.system, backup=self.backup, config=self.config.supervisor
-        ).run()
+        )
+        supervisor.trace = trace
+        report = supervisor.run()
         self.last_report = report
         obs = self.system.obs
         if obs.enabled:
